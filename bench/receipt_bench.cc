@@ -1,0 +1,93 @@
+// §5.1 microbenchmark: transaction receipts. Demonstrates the paper's
+// amortization argument — one signature per block serves every transaction
+// in it, so per-receipt cost is a Merkle proof (O(log B)) plus one cached
+// signature, not one asymmetric signature per transaction.
+
+#include <benchmark/benchmark.h>
+
+#include "ledger/receipt.h"
+
+using namespace sqlledger;
+
+namespace {
+
+Schema SmallSchema() {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("payload", DataType::kVarchar, false, 32);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+struct ReceiptBench {
+  std::unique_ptr<LedgerDatabase> db;
+  uint64_t target_txn = 0;
+
+  explicit ReceiptBench(uint64_t block_size) {
+    LedgerDatabaseOptions options;
+    options.block_size = block_size;
+    auto opened = LedgerDatabase::Open(std::move(options));
+    if (!opened.ok()) std::exit(1);
+    db = std::move(*opened);
+    if (!db->CreateTable("t", SmallSchema(), TableKind::kUpdateable).ok())
+      std::exit(1);
+    for (uint64_t i = 0; i < block_size; i++) {
+      auto txn = db->Begin("bench");
+      if (i == block_size / 2) target_txn = (*txn)->id();
+      (void)db->Insert(*txn, "t",
+                       {Value::BigInt(static_cast<int64_t>(i)),
+                        Value::Varchar("x")});
+      (void)db->Commit(*txn);
+    }
+    (void)db->GenerateDigest();
+  }
+};
+
+void BM_MakeReceipt(benchmark::State& state) {
+  ReceiptBench bench(static_cast<uint64_t>(state.range(0)));
+  size_t json_bytes = 0;
+  for (auto _ : state) {
+    auto receipt = MakeTransactionReceipt(bench.db.get(), bench.target_txn);
+    if (!receipt.ok()) {
+      state.SkipWithError(receipt.status().ToString().c_str());
+      return;
+    }
+    json_bytes = receipt->ToJson().size();
+    benchmark::DoNotOptimize(receipt);
+  }
+  state.counters["receipt_bytes"] = static_cast<double>(json_bytes);
+}
+
+void BM_VerifyReceipt(benchmark::State& state) {
+  ReceiptBench bench(static_cast<uint64_t>(state.range(0)));
+  auto receipt = MakeTransactionReceipt(bench.db.get(), bench.target_txn);
+  if (!receipt.ok()) {
+    state.SkipWithError(receipt.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    bool ok = VerifyTransactionReceipt(*receipt, bench.db->signer());
+    if (!ok) state.SkipWithError("receipt failed verification");
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void BM_SignaturesPerTransaction(benchmark::State& state) {
+  // The amortization itself: issuing receipts for EVERY transaction in a
+  // block needs exactly one signing operation (identical signed root).
+  ReceiptBench bench(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto receipt = MakeTransactionReceipt(bench.db.get(), bench.target_txn);
+    benchmark::DoNotOptimize(receipt);
+  }
+  state.counters["signatures_per_txn"] =
+      1.0 / static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_MakeReceipt)->Arg(64)->Arg(512)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyReceipt)->Arg(64)->Arg(512)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SignaturesPerTransaction)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Interactive SQL shell over a ledger database. Run a script of the
+// paper's Figure 2 when invoked with --demo, or read statements from stdin.
+//
+//   ./sql_repl [--demo] [data_dir]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sql/session.h"
+
+using namespace sqlledger;
+
+namespace {
+
+void RunStatement(SqlSession* session, const std::string& sql, bool echo) {
+  if (echo) std::printf("sql> %s\n", sql.c_str());
+  auto result = session->Execute(sql);
+  if (!result.ok()) {
+    std::printf("ERROR: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::string text = result->ToString();
+  if (!text.empty()) std::printf("%s\n", text.c_str());
+}
+
+int RunDemo(SqlSession* session) {
+  // The paper's Figure 2 account-balance scenario, in SQL.
+  const char* kScript[] = {
+      "CREATE TABLE accounts (name VARCHAR(32) NOT NULL, balance BIGINT NOT "
+      "NULL, PRIMARY KEY (name)) WITH (LEDGER = ON)",
+      "INSERT INTO accounts VALUES ('Nick', 50)",
+      "INSERT INTO accounts VALUES ('John', 500)",
+      "INSERT INTO accounts VALUES ('Joe', 30)",
+      "INSERT INTO accounts VALUES ('Mary', 200)",
+      "UPDATE accounts SET balance = 100 WHERE name = 'Nick'",
+      "DELETE FROM accounts WHERE name = 'Joe'",
+      "SELECT * FROM accounts ORDER BY name",
+      "SELECT * FROM LEDGER_VIEW(accounts)",
+      "GENERATE DIGEST",
+      "VERIFY LEDGER",
+      // Savepoints (paper §3.2.1).
+      "BEGIN",
+      "INSERT INTO accounts VALUES ('Eve', 1)",
+      "SAVEPOINT before_mistake",
+      "UPDATE accounts SET balance = 0 WHERE name = 'John'",
+      "ROLLBACK TO SAVEPOINT before_mistake",
+      "COMMIT",
+      "SELECT name, balance FROM accounts WHERE balance >= 100 ORDER BY "
+      "balance DESC",
+      // Aggregates and GROUP BY over the audit view and the table.
+      "SELECT COUNT(*), SUM(balance), AVG(balance) FROM accounts",
+      "SELECT operation, COUNT(*) FROM LEDGER_VIEW(accounts) GROUP BY "
+      "operation",
+  };
+  for (const char* sql : kScript) RunStatement(session, sql, /*echo=*/true);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  std::string data_dir;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      data_dir = argv[i];
+    }
+  }
+
+  LedgerDatabaseOptions options;
+  options.database_id = "sqlrepl";
+  options.data_dir = data_dir;
+  options.block_size = 16;
+  auto db = LedgerDatabase::Open(std::move(options));
+  if (!db.ok()) {
+    std::printf("open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  SqlSession session(db->get());
+
+  if (demo) return RunDemo(&session);
+
+  std::printf("sqlledger SQL shell — end statements with a newline, Ctrl-D "
+              "to exit.\n");
+  std::string line;
+  while (true) {
+    std::printf(session.in_transaction() ? "sql*> " : "sql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "exit" || line == "quit") break;
+    RunStatement(&session, line, /*echo=*/false);
+  }
+  return 0;
+}

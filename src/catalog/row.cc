@@ -1,0 +1,33 @@
+#include "catalog/row.h"
+
+namespace sqlledger {
+
+void EncodeRow(const Row& row, std::vector<uint8_t>* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) v.EncodeTo(dst);
+}
+
+Result<Row> DecodeRow(Decoder* dec) {
+  auto count = dec->GetVarint32();
+  if (!count.ok()) return count.status();
+  Row row;
+  row.reserve(*count);
+  for (uint32_t i = 0; i < *count; i++) {
+    auto v = Value::DecodeFrom(dec);
+    if (!v.ok()) return v.status();
+    row.push_back(std::move(*v));
+  }
+  return row;
+}
+
+size_t RowPayloadBytes(const Row& row) {
+  size_t total = 0;
+  for (const Value& v : row) {
+    if (v.is_null()) continue;
+    size_t w = DataTypeFixedWidth(v.type());
+    total += w > 0 ? w : v.string_value().size();
+  }
+  return total;
+}
+
+}  // namespace sqlledger

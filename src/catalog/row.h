@@ -1,0 +1,27 @@
+// Row encode/decode helpers for WAL records and checkpoint files.
+// This is the engine's internal row wire format — distinct from the
+// canonical ledger hashing format in ledger/row_serializer.h.
+
+#ifndef SQLLEDGER_CATALOG_ROW_H_
+#define SQLLEDGER_CATALOG_ROW_H_
+
+#include <vector>
+
+#include "catalog/value.h"
+#include "util/coding.h"
+
+namespace sqlledger {
+
+/// Appends `row` to `dst`: varint count followed by encoded values.
+void EncodeRow(const Row& row, std::vector<uint8_t>* dst);
+
+/// Decodes one row from `dec`.
+Result<Row> DecodeRow(Decoder* dec);
+
+/// Total payload bytes of a row's variable- and fixed-width values (used by
+/// benchmarks to size rows, e.g. the paper's 260-byte rows in §4.1.2).
+size_t RowPayloadBytes(const Row& row);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_CATALOG_ROW_H_

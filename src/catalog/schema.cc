@@ -1,0 +1,91 @@
+#include "catalog/schema.h"
+
+namespace sqlledger {
+
+size_t Schema::AddColumn(const std::string& name, DataType type, bool nullable,
+                         uint32_t max_length, bool hidden) {
+  ColumnDef col;
+  col.column_id = next_column_id_++;
+  col.name = name;
+  col.type = type;
+  col.nullable = nullable;
+  col.max_length = max_length;
+  col.hidden = hidden;
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (!columns_[i].dropped && columns_[i].name == name)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+KeyTuple Schema::ExtractKey(const Row& row) const {
+  return ExtractColumns(row, key_ordinals_);
+}
+
+KeyTuple Schema::ExtractColumns(const Row& row,
+                                const std::vector<size_t>& ordinals) {
+  KeyTuple key;
+  key.reserve(ordinals.size());
+  for (size_t ord : ordinals) key.push_back(row[ord]);
+  return key;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size())
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  for (size_t i = 0; i < columns_.size(); i++) {
+    const ColumnDef& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable && !col.dropped)
+        return Status::InvalidArgument("NULL in non-nullable column '" +
+                                       col.name + "'");
+      continue;
+    }
+    if (v.type() != col.type)
+      return Status::InvalidArgument(
+          "type mismatch in column '" + col.name + "': expected " +
+          DataTypeName(col.type) + ", got " + DataTypeName(v.type()));
+    if (col.max_length > 0 && (col.type == DataType::kVarchar ||
+                               col.type == DataType::kVarbinary) &&
+        v.string_value().size() > col.max_length)
+      return Status::InvalidArgument("value too long for column '" +
+                                     col.name + "'");
+  }
+  return Status::OK();
+}
+
+Result<Row> Schema::PadRow(const Row& user_row) const {
+  Row full;
+  full.reserve(columns_.size());
+  size_t next_user = 0;
+  for (const ColumnDef& col : columns_) {
+    if (col.hidden || col.dropped) {
+      full.push_back(Value::Null(col.type));
+    } else {
+      if (next_user >= user_row.size())
+        return Status::InvalidArgument("too few values for visible columns");
+      full.push_back(user_row[next_user++]);
+    }
+  }
+  if (next_user != user_row.size())
+    return Status::InvalidArgument("too many values for visible columns");
+  return full;
+}
+
+std::vector<size_t> Schema::VisibleOrdinals() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (!columns_[i].hidden && !columns_[i].dropped) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace sqlledger

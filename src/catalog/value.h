@@ -1,0 +1,107 @@
+// Typed SQL values. The type system intentionally mirrors the paper's
+// examples (§3.2 uses INT vs SMALLINT metadata-swap attacks), so each type
+// carries a distinct wire id that participates in row hashing.
+
+#ifndef SQLLEDGER_CATALOG_VALUE_H_
+#define SQLLEDGER_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace sqlledger {
+
+/// SQL data types supported by the engine. The numeric values are part of
+/// the canonical row serialization format and must never be renumbered.
+enum class DataType : uint8_t {
+  kBool = 1,
+  kSmallInt = 2,   // 16-bit signed
+  kInt = 3,        // 32-bit signed
+  kBigInt = 4,     // 64-bit signed
+  kDouble = 5,
+  kVarchar = 6,    // variable-length UTF-8 text
+  kVarbinary = 7,  // variable-length bytes
+  kTimestamp = 8,  // microseconds since Unix epoch, 64-bit signed
+};
+
+const char* DataTypeName(DataType t);
+/// Fixed width in bytes, or 0 for variable-length types.
+size_t DataTypeFixedWidth(DataType t);
+
+/// A single typed, nullable SQL value.
+class Value {
+ public:
+  /// NULL of the given type.
+  static Value Null(DataType type);
+  static Value Bool(bool v);
+  static Value SmallInt(int16_t v);
+  static Value Int(int32_t v);
+  static Value BigInt(int64_t v);
+  static Value Double(double v);
+  static Value Varchar(std::string v);
+  static Value Varbinary(std::vector<uint8_t> v);
+  static Value Timestamp(int64_t micros);
+
+  Value() : type_(DataType::kInt), null_(true) {}
+
+  DataType type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool bool_value() const { return int_ != 0; }
+  int16_t smallint_value() const { return static_cast<int16_t>(int_); }
+  int32_t int_value() const { return static_cast<int32_t>(int_); }
+  int64_t bigint_value() const { return int_; }
+  /// Integral content regardless of width (bool/smallint/int/bigint/ts).
+  int64_t AsInt64() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return str_; }
+  Slice binary_value() const { return Slice(str_); }
+
+  /// Total ordering used by index keys: NULL < everything; values of
+  /// integral types compare numerically across widths; cross-kind
+  /// comparisons order by type id (never expected in well-typed keys).
+  int Compare(const Value& other) const;
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Human-readable form for views and examples, e.g. 42, 'abc', NULL.
+  std::string ToString() const;
+
+  /// Checked cast to a different type (used by ALTER COLUMN, §3.5.3).
+  Result<Value> CastTo(DataType target) const;
+
+  /// Compact binary encoding used by WAL records and checkpoints (NOT the
+  /// canonical ledger hash format — see ledger/row_serializer.h for that).
+  void EncodeTo(std::vector<uint8_t>* dst) const;
+  static Result<Value> DecodeFrom(class Decoder* dec);
+
+ private:
+  DataType type_;
+  bool null_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;  // varchar bytes or varbinary bytes
+};
+
+/// A row is a vector of values, positionally matching its table's schema.
+using Row = std::vector<Value>;
+
+/// Index/primary keys are value tuples with lexicographic ordering.
+using KeyTuple = std::vector<Value>;
+
+/// Lexicographic comparison of two value tuples.
+int CompareKeys(const KeyTuple& a, const KeyTuple& b);
+
+struct KeyTupleLess {
+  bool operator()(const KeyTuple& a, const KeyTuple& b) const {
+    return CompareKeys(a, b) < 0;
+  }
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_CATALOG_VALUE_H_

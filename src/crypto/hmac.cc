@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace sqlledger {
+
+Hash256 HmacSha256(Slice key, Slice data) {
+  uint8_t key_block[64];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key.size() > 64) {
+    Hash256 kh = Sha256::Digest(key);
+    std::memcpy(key_block, kh.bytes.data(), 32);
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; i++) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, 64);
+  inner.Update(data);
+  Hash256 inner_hash = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, 64);
+  outer.Update(inner_hash.AsSlice());
+  return outer.Finish();
+}
+
+std::vector<uint8_t> HmacSigner::Sign(const Hash256& digest) const {
+  Hash256 mac = HmacSha256(Slice(key_), digest.AsSlice());
+  return std::vector<uint8_t>(mac.bytes.begin(), mac.bytes.end());
+}
+
+bool HmacSigner::Verify(const Hash256& digest, Slice signature) const {
+  std::vector<uint8_t> expected = Sign(digest);
+  if (signature.size() != expected.size()) return false;
+  // Constant-time comparison.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expected.size(); i++) diff |= expected[i] ^ signature[i];
+  return diff == 0;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,52 @@
+// HMAC-SHA256 (RFC 2104) and the Signer abstraction used for transaction
+// receipts and digest attestation (paper §5.1). The paper amortizes one
+// asymmetric signature per 100K-transaction block; we keep the identical
+// protocol shape but sign with HMAC under a held key (see DESIGN.md §1.3
+// for the substitution rationale). Signer is an interface so an asymmetric
+// implementation can be dropped in.
+
+#ifndef SQLLEDGER_CRYPTO_HMAC_H_
+#define SQLLEDGER_CRYPTO_HMAC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/slice.h"
+
+namespace sqlledger {
+
+/// HMAC-SHA256 over `data` with `key`. One-shot.
+Hash256 HmacSha256(Slice key, Slice data);
+
+/// Signs/verifies 32-byte digests (block Merkle roots, database digests).
+class Signer {
+ public:
+  virtual ~Signer() = default;
+  /// Opaque signature bytes over `digest`.
+  virtual std::vector<uint8_t> Sign(const Hash256& digest) const = 0;
+  virtual bool Verify(const Hash256& digest,
+                      Slice signature) const = 0;
+  /// Identifier embedded in receipts so verifiers pick the right key.
+  virtual std::string KeyId() const = 0;
+};
+
+/// HMAC-based Signer: signature = HMAC-SHA256(key, digest).
+class HmacSigner : public Signer {
+ public:
+  HmacSigner(std::string key_id, std::vector<uint8_t> key)
+      : key_id_(std::move(key_id)), key_(std::move(key)) {}
+
+  std::vector<uint8_t> Sign(const Hash256& digest) const override;
+  bool Verify(const Hash256& digest, Slice signature) const override;
+  std::string KeyId() const override { return key_id_; }
+
+ private:
+  std::string key_id_;
+  std::vector<uint8_t> key_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_CRYPTO_HMAC_H_

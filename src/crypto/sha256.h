@@ -1,0 +1,67 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Every row version,
+// transaction entry and block in the ledger is hashed with this primitive
+// (paper §2.1), so it sits on the hot path of all DML.
+
+#ifndef SQLLEDGER_CRYPTO_SHA256_H_
+#define SQLLEDGER_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace sqlledger {
+
+/// A 256-bit hash value. Comparable and hashable so it can key maps.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Hash256& o) const { return bytes == o.bytes; }
+  bool operator!=(const Hash256& o) const { return bytes != o.bytes; }
+  bool operator<(const Hash256& o) const { return bytes < o.bytes; }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  Slice AsSlice() const { return Slice(bytes.data(), bytes.size()); }
+  /// 64-character lowercase hex.
+  std::string ToHex() const;
+  /// Parse a 64-character hex string; returns all-zero hash on bad input
+  /// via the bool flag.
+  static bool FromHex(const std::string& hex, Hash256* out);
+};
+
+/// Incremental SHA-256 context. Usage: Update(...) any number of times,
+/// then Finish(). Reset() restores the initial state for reuse.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(Slice data);
+  void Update(const uint8_t* data, size_t n) { Update(Slice(data, n)); }
+  /// Finalizes and returns the digest. The context must be Reset() before
+  /// further use.
+  Hash256 Finish();
+
+  /// One-shot convenience.
+  static Hash256 Digest(Slice data);
+  /// Hash the concatenation of two inputs (Merkle node combine).
+  static Hash256 Digest2(Slice a, Slice b);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_CRYPTO_SHA256_H_

@@ -1,0 +1,164 @@
+// The Database Ledger (paper §2.2, §3.3): a blockchain of blocks, each
+// holding the Merkle root over up to block_size transaction entries.
+// Transactions and blocks are physically stored as rows in two system
+// tables ("database_ledger_transactions", "database_ledger_blocks"); the
+// commit path only touches in-memory state (slot assignment + queue
+// append), and the queue is drained into the transactions system table at
+// checkpoint time (paper §3.3.2).
+
+#ifndef SQLLEDGER_LEDGER_DATABASE_LEDGER_H_
+#define SQLLEDGER_LEDGER_DATABASE_LEDGER_H_
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "ledger/digest.h"
+#include "ledger/types.h"
+#include "storage/table_store.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+/// Schemas for the two ledger system tables.
+Schema MakeLedgerTransactionsSchema();
+Schema MakeLedgerBlocksSchema();
+
+/// Row <-> struct conversions, shared with the verifier.
+Row TransactionEntryToRow(const TransactionEntry& entry);
+Result<TransactionEntry> RowToTransactionEntry(const Row& row);
+Row BlockRecordToRow(const BlockRecord& block);
+Result<BlockRecord> RowToBlockRecord(const Row& row);
+
+struct DatabaseLedgerOptions {
+  /// Transactions per block (the paper uses 100K; benches sweep this).
+  uint64_t block_size = 100000;
+  /// Injectable clock (microseconds since epoch).
+  std::function<int64_t()> clock;
+};
+
+class DatabaseLedger {
+ public:
+  /// The system table stores are owned by the database facade; the ledger
+  /// reads and writes them directly (they are internal tables, not subject
+  /// to user transactions).
+  DatabaseLedger(TableStore* transactions_table, TableStore* blocks_table,
+                 DatabaseLedgerOptions options);
+
+  // ---- Commit path (paper §3.3.2). ----
+
+  /// Assigns the next (block id, ordinal) slot. Called while forming the
+  /// WAL commit record.
+  std::pair<uint64_t, uint64_t> AssignSlot();
+
+  /// Appends a committed transaction's entry to the open block and the
+  /// in-memory durability queue, then closes the block if it is full.
+  /// The entry's (block_id, block_ordinal) must come from AssignSlot.
+  Status Append(TransactionEntry entry);
+
+  // ---- Digest generation (paper §2.2). ----
+
+  /// Closes the open block if it has entries (or materializes an initial
+  /// empty block for a pristine database) and returns a digest of the
+  /// latest closed block.
+  Result<DatabaseDigest> GenerateDigest(const std::string& database_id,
+                                        const std::string& create_time);
+
+  /// Verifies that `newer` is derivable from `older` by walking the block
+  /// chain in the current blocks table and recomputing hashes — the fork
+  /// detection of paper §3.3.1 (requirement 3). OK result `false` means a
+  /// clean "not derivable" answer; an error Status means the chain itself
+  /// is unreadable.
+  Result<bool> VerifyDigestChain(const DatabaseDigest& older,
+                                 const DatabaseDigest& newer) const;
+
+  // ---- Durability integration. ----
+
+  /// Drains the in-memory queue into the transactions system table
+  /// (checkpoint time, paper §3.3.2). Idempotent.
+  Status DrainQueue();
+
+  /// Re-appends an entry recovered from a WAL commit record. Skips entries
+  /// already present (replay after a crash between checkpoint and WAL
+  /// reset). Entries must be replayed in commit order; an entry addressed
+  /// past the open block implies the open block was closed before the
+  /// crash, so it is re-closed first (block closes are deterministic: the
+  /// close timestamp is the last entry's commit timestamp).
+  Status RecoverEntry(const TransactionEntry& entry);
+
+  /// Replays a digest-generation block close from its WAL marker.
+  Status RecoverBlockClose(uint64_t block_id);
+
+  /// Rebuilds open-block state from the system tables after loading a
+  /// checkpoint and before WAL replay.
+  Status LoadFromTables();
+
+  // ---- Introspection. ----
+
+  uint64_t open_block_id() const { return open_block_id_; }
+  uint64_t open_block_entry_count() const { return open_entries_.size(); }
+  uint64_t closed_block_count() const { return blocks_table_->row_count(); }
+  uint64_t queue_depth() const { return queue_.size(); }
+  uint64_t total_entries() const { return total_entries_; }
+  uint64_t block_size() const { return options_.block_size; }
+
+  /// Entries of the still-open block plus undrained queue entries, used by
+  /// the verifier so verification covers the most recent transactions.
+  std::vector<TransactionEntry> PendingEntries() const;
+
+  /// Every entry persisted in the transactions system table. Call
+  /// DrainQueue first for a complete picture.
+  std::vector<TransactionEntry> AllEntries() const;
+
+  /// Ledger truncation support (paper §5.2): transaction ids recorded in
+  /// blocks below `below_block`, with their min/max.
+  struct TxnRange {
+    std::vector<uint64_t> txn_ids;
+    uint64_t min_txn_id = 0;
+    uint64_t max_txn_id = 0;
+  };
+  Result<TxnRange> CollectTxnsBelow(uint64_t below_block) const;
+
+  /// Physically removes blocks and transaction entries below `below_block`.
+  /// Callers must have re-homed any live data first (TruncateLedger does).
+  Status TruncateBelow(uint64_t below_block);
+
+  /// Looks up an entry by transaction id across the system table and the
+  /// open block.
+  Result<TransactionEntry> FindEntry(uint64_t txn_id) const;
+
+  /// Looks up a closed block.
+  Result<BlockRecord> FindBlock(uint64_t block_id) const;
+
+  /// Merkle proof that the given transaction is part of its (closed)
+  /// block's transaction tree (paper §3.3.1 requirement 4; receipts §5.1).
+  Result<MerkleProof> ProveTransaction(uint64_t txn_id) const;
+
+  /// Raw system stores, exposed only for tamper-simulation tests (the
+  /// storage-level attacker of §2.5.2).
+  TableStore* transactions_table_for_testing() { return transactions_table_; }
+  TableStore* blocks_table_for_testing() { return blocks_table_; }
+
+ private:
+  Status CloseOpenBlockLocked();
+  int64_t Now() const { return options_.clock(); }
+
+  TableStore* transactions_table_;
+  TableStore* blocks_table_;
+  DatabaseLedgerOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t open_block_id_ = 0;
+  uint64_t next_ordinal_ = 0;
+  std::vector<TransactionEntry> open_entries_;
+  Hash256 last_block_hash_;  // hash of the newest closed block (zero if none)
+  int64_t last_commit_ts_ = 0;
+  std::deque<TransactionEntry> queue_;  // not yet in the system table
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_DATABASE_LEDGER_H_

@@ -1,0 +1,52 @@
+#include "ledger/digest.h"
+
+#include "util/json.h"
+
+namespace sqlledger {
+
+std::string DatabaseDigest::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("database_id", JsonValue::Str(database_id));
+  doc.Set("database_create_time", JsonValue::Str(database_create_time));
+  doc.Set("block_id", JsonValue::Int(static_cast<int64_t>(block_id)));
+  doc.Set("block_hash", JsonValue::Str(block_hash.ToHex()));
+  doc.Set("generated_at", JsonValue::Int(generated_at_micros));
+  doc.Set("last_commit_ts", JsonValue::Int(last_commit_ts_micros));
+  return doc.Dump();
+}
+
+Result<DatabaseDigest> DatabaseDigest::FromJson(const std::string& json) {
+  auto parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object())
+    return Status::InvalidArgument("digest JSON is not an object");
+
+  DatabaseDigest d;
+  auto db_id = parsed->GetString("database_id");
+  if (!db_id.ok()) return db_id.status();
+  d.database_id = *db_id;
+
+  auto create_time = parsed->GetString("database_create_time");
+  if (!create_time.ok()) return create_time.status();
+  d.database_create_time = *create_time;
+
+  auto block_id = parsed->GetInt("block_id");
+  if (!block_id.ok()) return block_id.status();
+  d.block_id = static_cast<uint64_t>(*block_id);
+
+  auto hash_hex = parsed->GetString("block_hash");
+  if (!hash_hex.ok()) return hash_hex.status();
+  if (!Hash256::FromHex(*hash_hex, &d.block_hash))
+    return Status::InvalidArgument("malformed block_hash in digest");
+
+  auto generated = parsed->GetInt("generated_at");
+  if (!generated.ok()) return generated.status();
+  d.generated_at_micros = *generated;
+
+  auto last_ts = parsed->GetInt("last_commit_ts");
+  if (!last_ts.ok()) return last_ts.status();
+  d.last_commit_ts_micros = *last_ts;
+  return d;
+}
+
+}  // namespace sqlledger

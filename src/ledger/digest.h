@@ -1,0 +1,48 @@
+// Database Digests (paper §2.2): a compact JSON document capturing the
+// state of all ledger tables at a point in time — the hash of the latest
+// closed block plus metadata. Digests are stored *outside* the database
+// (digest_store.h) and fed back to the verifier.
+
+#ifndef SQLLEDGER_LEDGER_DIGEST_H_
+#define SQLLEDGER_LEDGER_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+struct DatabaseDigest {
+  /// Logical database identifier.
+  std::string database_id;
+  /// Incarnation tag: the database "create time". A point-in-time restore
+  /// produces a new incarnation; digests across incarnations are all
+  /// retained by the digest store (paper §3.6).
+  std::string database_create_time;
+  /// The latest closed block this digest covers.
+  uint64_t block_id = 0;
+  /// Hash of that block.
+  Hash256 block_hash;
+  /// Wall-clock time the digest was generated.
+  int64_t generated_at_micros = 0;
+  /// Commit timestamp of the last transaction in the covered block.
+  int64_t last_commit_ts_micros = 0;
+
+  /// Serialize to the JSON interchange form.
+  std::string ToJson() const;
+  static Result<DatabaseDigest> FromJson(const std::string& json);
+
+  bool operator==(const DatabaseDigest& o) const {
+    return database_id == o.database_id &&
+           database_create_time == o.database_create_time &&
+           block_id == o.block_id && block_hash == o.block_hash &&
+           generated_at_micros == o.generated_at_micros &&
+           last_commit_ts_micros == o.last_commit_ts_micros;
+  }
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_DIGEST_H_

@@ -1,0 +1,256 @@
+#include "ledger/digest_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/hex.h"
+#include "util/json.h"
+
+namespace sqlledger {
+
+Status InMemoryDigestStore::Upload(const DatabaseDigest& digest) {
+  by_incarnation_[digest.database_create_time].push_back(digest);
+  return Status::OK();
+}
+
+Result<std::vector<DatabaseDigest>> InMemoryDigestStore::ListAll() const {
+  std::vector<DatabaseDigest> out;
+  for (const auto& [incarnation, digests] : by_incarnation_)
+    out.insert(out.end(), digests.begin(), digests.end());
+  return out;
+}
+
+Result<DatabaseDigest> InMemoryDigestStore::Latest(
+    const std::string& create_time) const {
+  const DatabaseDigest* best = nullptr;
+  for (const auto& [incarnation, digests] : by_incarnation_) {
+    if (!create_time.empty() && incarnation != create_time) continue;
+    for (const DatabaseDigest& d : digests) {
+      if (best == nullptr || d.generated_at_micros > best->generated_at_micros)
+        best = &d;
+    }
+  }
+  if (best == nullptr) return Status::NotFound("digest store is empty");
+  return *best;
+}
+
+Result<std::unique_ptr<ImmutableBlobDigestStore>> ImmutableBlobDigestStore::Open(
+    const std::string& root_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_dir, ec);
+  if (ec)
+    return Status::IOError("cannot create digest store root: " + ec.message());
+  return std::unique_ptr<ImmutableBlobDigestStore>(
+      new ImmutableBlobDigestStore(root_dir));
+}
+
+Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
+  std::string incarnation =
+      digest.database_create_time.empty() ? "default"
+                                          : digest.database_create_time;
+  std::string dir = root_dir_ + "/" + incarnation;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return Status::IOError("cannot create incarnation dir: " + ec.message());
+
+  // Sequence number = number of existing blobs; retry on collision so
+  // concurrent uploaders never overwrite (write-once contract).
+  for (int attempt = 0; attempt < 1000; attempt++) {
+    size_t seq = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator(dir))
+      seq++;
+    char name[32];
+    std::snprintf(name, sizeof(name), "digest-%08zu.json", seq + attempt);
+    std::string path = dir + "/" + name;
+    if (std::filesystem::exists(path)) continue;
+    std::ofstream out(path, std::ios::out);
+    if (!out) return Status::IOError("cannot create digest blob: " + path);
+    out << digest.ToJson();
+    out.close();
+    if (!out) return Status::IOError("failed writing digest blob: " + path);
+    // Emulate the storage service's immutability policy: strip write
+    // permission from the stored blob.
+    std::filesystem::permissions(path,
+                                 std::filesystem::perms::owner_read |
+                                     std::filesystem::perms::group_read |
+                                     std::filesystem::perms::others_read,
+                                 ec);
+    return Status::OK();
+  }
+  return Status::Busy("could not allocate a digest blob name");
+}
+
+Result<std::vector<DatabaseDigest>> ImmutableBlobDigestStore::ListAll() const {
+  std::vector<DatabaseDigest> out;
+  if (!std::filesystem::exists(root_dir_)) return out;
+  std::vector<std::string> files;
+  for (const auto& incarnation :
+       std::filesystem::directory_iterator(root_dir_)) {
+    if (!incarnation.is_directory()) continue;
+    for (const auto& blob :
+         std::filesystem::directory_iterator(incarnation.path()))
+      files.push_back(blob.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot read digest blob: " + path);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto digest = DatabaseDigest::FromJson(json);
+    if (!digest.ok())
+      return Status::Corruption("malformed digest blob " + path + ": " +
+                                digest.status().ToString());
+    out.push_back(std::move(*digest));
+  }
+  return out;
+}
+
+Result<DatabaseDigest> ImmutableBlobDigestStore::Latest(
+    const std::string& create_time) const {
+  auto all = ListAll();
+  if (!all.ok()) return all.status();
+  const DatabaseDigest* best = nullptr;
+  for (const DatabaseDigest& d : *all) {
+    if (!create_time.empty() && d.database_create_time != create_time)
+      continue;
+    if (best == nullptr || d.generated_at_micros > best->generated_at_micros)
+      best = &d;
+  }
+  if (best == nullptr) return Status::NotFound("digest store is empty");
+  return *best;
+}
+
+Result<VerificationReport> VerifyLedgerAgainstStore(
+    LedgerDatabase* db, const DigestStore& store,
+    const VerificationOptions& options) {
+  auto all = store.ListAll();
+  if (!all.ok()) return all.status();
+  uint64_t open_block = db->database_ledger()->open_block_id();
+  std::vector<DatabaseDigest> relevant;
+  for (DatabaseDigest& digest : *all) {
+    if (digest.database_id != db->options().database_id) continue;
+    // Digests from OTHER incarnations cover the shared block prefix only:
+    // a restored sibling keeps appending its own blocks, which this
+    // incarnation legitimately never has (paper §3.6). Digests of THIS
+    // incarnation are never dropped — a reference to a missing block then
+    // means a rollback attack and must be flagged.
+    if (digest.database_create_time != db->create_time() &&
+        digest.block_id >= open_block)
+      continue;
+    relevant.push_back(std::move(digest));
+  }
+  return VerifyLedger(db, relevant, options);
+}
+
+std::string SignedDigest::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("digest", JsonValue::Str(digest.ToJson()));
+  doc.Set("key_id", JsonValue::Str(key_id));
+  doc.Set("signature", JsonValue::Str(HexEncode(Slice(signature))));
+  return doc.Dump();
+}
+
+Result<SignedDigest> SignedDigest::FromJson(const std::string& json) {
+  auto parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  SignedDigest out;
+  auto digest_json = parsed->GetString("digest");
+  if (!digest_json.ok()) return digest_json.status();
+  auto digest = DatabaseDigest::FromJson(*digest_json);
+  if (!digest.ok()) return digest.status();
+  out.digest = *digest;
+  auto key_id = parsed->GetString("key_id");
+  if (!key_id.ok()) return key_id.status();
+  out.key_id = *key_id;
+  auto sig_hex = parsed->GetString("signature");
+  if (!sig_hex.ok()) return sig_hex.status();
+  auto sig = HexDecode(*sig_hex);
+  if (!sig.ok()) return sig.status();
+  out.signature = std::move(*sig);
+  return out;
+}
+
+SignedDigest SignDigest(const DatabaseDigest& digest, const Signer& signer) {
+  SignedDigest out;
+  out.digest = digest;
+  out.key_id = signer.KeyId();
+  out.signature = signer.Sign(Sha256::Digest(Slice(digest.ToJson())));
+  return out;
+}
+
+bool VerifySignedDigest(const SignedDigest& signed_digest,
+                        const Signer& signer) {
+  return signer.Verify(
+      Sha256::Digest(Slice(signed_digest.digest.ToJson())),
+      Slice(signed_digest.signature));
+}
+
+PeriodicDigestUploader::PeriodicDigestUploader(
+    LedgerDatabase* db, DigestStore* store, std::chrono::milliseconds interval)
+    : db_(db), store_(store), interval_(interval) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicDigestUploader::~PeriodicDigestUploader() { Stop(); }
+
+void PeriodicDigestUploader::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status PeriodicDigestUploader::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+void PeriodicDigestUploader::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    auto uploaded = GenerateAndUploadDigest(db_, store_);
+    lock.lock();
+    if (!uploaded.ok()) {
+      // A fork detection (or storage) failure is a serious event: latch it
+      // and stop uploading, mirroring the paper's alert-and-stop behaviour.
+      error_ = uploaded.status();
+      return;
+    }
+    uploads_++;
+  }
+}
+
+Result<DatabaseDigest> GenerateAndUploadDigest(LedgerDatabase* db,
+                                               DigestStore* store) {
+  auto digest = db->GenerateDigest();
+  if (!digest.ok()) return digest;
+
+  auto previous = store->Latest(db->create_time());
+  if (previous.ok()) {
+    auto derivable =
+        db->database_ledger()->VerifyDigestChain(*previous, *digest);
+    if (!derivable.ok()) return derivable.status();
+    if (!*derivable)
+      return Status::IntegrityViolation(
+          "fork detected: the new digest is not derivable from the "
+          "previously uploaded digest (block " +
+          std::to_string(previous->block_id) + ")");
+  } else if (previous.status().code() != StatusCode::kNotFound) {
+    return previous.status();
+  }
+
+  SL_RETURN_IF_ERROR(store->Upload(*digest));
+  return digest;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,153 @@
+// Digest management (paper §2.4, §3.6). Database Digests must live in
+// trusted storage outside the database. The paper integrates with Azure
+// Immutable Blob Storage; this module provides the equivalent contract:
+//   - write-once, append-only storage of digest documents,
+//   - no modify/delete surface at all,
+//   - digests grouped by database "incarnation" (create time), so
+//     point-in-time restores retain the digests of every incarnation.
+// GenerateAndUploadDigest additionally performs the fork check of §3.3.1
+// (requirement 3): each new digest must be derivable from the previously
+// uploaded one, otherwise the upload is refused and the fork reported.
+
+#ifndef SQLLEDGER_LEDGER_DIGEST_STORE_H_
+#define SQLLEDGER_LEDGER_DIGEST_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/hmac.h"
+
+#include "ledger/digest.h"
+#include "ledger/ledger_database.h"
+#include "ledger/verifier.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+/// Trusted external digest storage.
+class DigestStore {
+ public:
+  virtual ~DigestStore() = default;
+
+  /// Stores a digest. Write-once: implementations never overwrite.
+  virtual Status Upload(const DatabaseDigest& digest) = 0;
+  /// Every stored digest, across all incarnations, upload order preserved
+  /// within an incarnation.
+  virtual Result<std::vector<DatabaseDigest>> ListAll() const = 0;
+  /// The most recently generated digest for the given incarnation
+  /// (empty create_time = across all incarnations). NotFound when empty.
+  virtual Result<DatabaseDigest> Latest(
+      const std::string& create_time = "") const = 0;
+};
+
+/// In-process store for tests and examples.
+class InMemoryDigestStore : public DigestStore {
+ public:
+  Status Upload(const DatabaseDigest& digest) override;
+  Result<std::vector<DatabaseDigest>> ListAll() const override;
+  Result<DatabaseDigest> Latest(const std::string& create_time) const override;
+
+ private:
+  std::map<std::string, std::vector<DatabaseDigest>> by_incarnation_;
+};
+
+/// Directory-backed simulation of Azure Immutable Blob Storage: one
+/// subdirectory per incarnation, one write-once JSON file per digest.
+/// Upload fails with PermissionDenied rather than overwrite anything.
+class ImmutableBlobDigestStore : public DigestStore {
+ public:
+  /// `root_dir` is created if absent.
+  static Result<std::unique_ptr<ImmutableBlobDigestStore>> Open(
+      const std::string& root_dir);
+
+  Status Upload(const DatabaseDigest& digest) override;
+  Result<std::vector<DatabaseDigest>> ListAll() const override;
+  Result<DatabaseDigest> Latest(const std::string& create_time) const override;
+
+ private:
+  explicit ImmutableBlobDigestStore(std::string root_dir)
+      : root_dir_(std::move(root_dir)) {}
+
+  std::string root_dir_;
+};
+
+/// Generates a digest from `db` and uploads it to `store`, first verifying
+/// that the new digest is derivable from the incarnation's previous digest
+/// (fork detection, paper §3.3.1). Returns the uploaded digest.
+Result<DatabaseDigest> GenerateAndUploadDigest(LedgerDatabase* db,
+                                               DigestStore* store);
+
+/// Downloads every digest stored for this database (across incarnations)
+/// and runs full verification against them — the automated flow of paper
+/// §3.6 ("during verification, these digests are automatically downloaded
+/// and used to verify the integrity of the database"). Digests belonging
+/// to other databases in the same store are ignored, as are digests from
+/// *other incarnations* that cover blocks past this database's chain (a
+/// restored sibling's own future — legitimately absent here). Digests of
+/// this incarnation are always used, so a same-incarnation digest pointing
+/// past the chain is correctly reported as a rollback attack.
+Result<VerificationReport> VerifyLedgerAgainstStore(
+    LedgerDatabase* db, const DigestStore& store,
+    const VerificationOptions& options = {});
+
+/// A digest signed with the organization's key (paper §2.4: digests can be
+/// "signed with the company's private/public key pair, to guarantee their
+/// authenticity, and shared with any customers, partners or auditors").
+/// The signature covers the SHA-256 of the digest's canonical JSON.
+struct SignedDigest {
+  DatabaseDigest digest;
+  std::string key_id;
+  std::vector<uint8_t> signature;
+
+  std::string ToJson() const;
+  static Result<SignedDigest> FromJson(const std::string& json);
+};
+
+/// Signs `digest` with the database's signer.
+SignedDigest SignDigest(const DatabaseDigest& digest, const Signer& signer);
+/// Offline authenticity check for a shared digest document.
+bool VerifySignedDigest(const SignedDigest& signed_digest,
+                        const Signer& signer);
+
+/// Automates the paper's "every few seconds" digest cadence (§2.4): a
+/// background thread that calls GenerateAndUploadDigest on an interval.
+/// Stops on destruction; a fork detection failure stops the uploader and
+/// latches the error.
+class PeriodicDigestUploader {
+ public:
+  PeriodicDigestUploader(LedgerDatabase* db, DigestStore* store,
+                         std::chrono::milliseconds interval);
+  ~PeriodicDigestUploader();
+
+  PeriodicDigestUploader(const PeriodicDigestUploader&) = delete;
+  PeriodicDigestUploader& operator=(const PeriodicDigestUploader&) = delete;
+
+  void Stop();
+  uint64_t uploads() const { return uploads_.load(); }
+  /// First error encountered (OK while healthy).
+  Status last_error() const;
+
+ private:
+  void Loop();
+
+  LedgerDatabase* db_;
+  DigestStore* store_;
+  std::chrono::milliseconds interval_;
+  std::atomic<uint64_t> uploads_{0};
+  mutable std::mutex mu_;
+  Status error_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_DIGEST_STORE_H_

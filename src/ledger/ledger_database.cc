@@ -1,0 +1,903 @@
+#include "ledger/ledger_database.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "catalog/row.h"
+#include "storage/checkpoint.h"
+#include "util/coding.h"
+
+namespace sqlledger {
+
+namespace {
+// WAL record kinds (first payload byte).
+constexpr uint8_t kWalKindCommit = 1;
+constexpr uint8_t kWalKindBlockClose = 2;
+
+int64_t SystemClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Schema MakeSysTablesSchema() {
+  Schema s;
+  s.AddColumn("table_name", DataType::kVarchar, /*nullable=*/false);
+  s.AddColumn("table_id", DataType::kBigInt, false);
+  s.AddColumn("kind", DataType::kVarchar, false);
+  s.SetPrimaryKey({1});
+  return s;
+}
+
+Schema MakeSysColumnsSchema() {
+  Schema s;
+  s.AddColumn("table_id", DataType::kBigInt, false);
+  s.AddColumn("column_id", DataType::kBigInt, false);
+  s.AddColumn("column_name", DataType::kVarchar, false);
+  s.AddColumn("data_type", DataType::kVarchar, false);
+  s.SetPrimaryKey({0, 1});
+  return s;
+}
+
+Schema MakeSysTruncationsSchema() {
+  Schema s;
+  s.AddColumn("truncated_below_block", DataType::kBigInt, false);
+  s.AddColumn("min_txn_id", DataType::kBigInt, false);
+  s.AddColumn("max_txn_id", DataType::kBigInt, false);
+  s.AddColumn("truncated_at", DataType::kTimestamp, false);
+  s.SetPrimaryKey({0});
+  return s;
+}
+}  // namespace
+
+LedgerDatabase::LedgerDatabase(LedgerDatabaseOptions options)
+    : options_(std::move(options)),
+      locks_(options_.lock_timeout),
+      signer_(options_.signing_key_id, options_.signing_key) {
+  if (!options_.clock) options_.clock = SystemClockMicros;
+}
+
+LedgerDatabase::~LedgerDatabase() = default;
+
+Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
+    LedgerDatabaseOptions options) {
+  std::unique_ptr<LedgerDatabase> db(new LedgerDatabase(std::move(options)));
+
+  if (db->options_.data_dir.empty()) {
+    SL_RETURN_IF_ERROR(db->InitFresh());
+    return db;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(db->options_.data_dir, ec);
+  if (ec)
+    return Status::IOError("cannot create data dir: " + ec.message());
+  db->checkpoint_path_ = db->options_.data_dir + "/checkpoint.sldb";
+  db->wal_path_ = db->options_.data_dir + "/wal.log";
+
+  if (std::filesystem::exists(db->checkpoint_path_)) {
+    SL_RETURN_IF_ERROR(db->Recover());
+    auto wal = Wal::Open(db->wal_path_, WalOptions{db->options_.sync_wal});
+    if (!wal.ok()) return wal.status();
+    db->wal_ = std::move(*wal);
+  } else {
+    SL_RETURN_IF_ERROR(db->InitFresh());
+    auto wal = Wal::Open(db->wal_path_, WalOptions{db->options_.sync_wal});
+    if (!wal.ok()) return wal.status();
+    db->wal_ = std::move(*wal);
+    // First checkpoint, so recovery never sees a WAL without a catalog.
+    SL_RETURN_IF_ERROR(db->Checkpoint());
+  }
+  return db;
+}
+
+Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Restore(
+    const std::string& source_dir, LedgerDatabaseOptions options) {
+  if (options.data_dir.empty())
+    return Status::InvalidArgument("Restore requires a target data_dir");
+  if (options.data_dir == source_dir)
+    return Status::InvalidArgument("restore target must differ from source");
+  std::error_code ec;
+  if (!std::filesystem::exists(source_dir + "/checkpoint.sldb"))
+    return Status::NotFound("no checkpoint in source directory " + source_dir);
+  std::filesystem::remove_all(options.data_dir, ec);
+  std::filesystem::create_directories(options.data_dir, ec);
+  if (ec) return Status::IOError("cannot create restore target: " + ec.message());
+  std::filesystem::copy(source_dir, options.data_dir,
+                        std::filesystem::copy_options::recursive, ec);
+  if (ec) return Status::IOError("restore copy failed: " + ec.message());
+  options.force_new_incarnation = true;
+  return Open(std::move(options));
+}
+
+Status LedgerDatabase::InitFresh() {
+  create_time_ = std::to_string(options_.clock());
+
+  ledger_txns_store_ = std::make_unique<TableStore>(
+      kLedgerTransactionsTableId, "database_ledger_transactions",
+      MakeLedgerTransactionsSchema());
+  ledger_blocks_store_ = std::make_unique<TableStore>(
+      kLedgerBlocksTableId, "database_ledger_blocks",
+      MakeLedgerBlocksSchema());
+
+  if (!options_.enable_ledger) return Status::OK();
+
+  DatabaseLedgerOptions lopts;
+  lopts.block_size = options_.block_size;
+  lopts.clock = options_.clock;
+  ledger_ = std::make_unique<DatabaseLedger>(ledger_txns_store_.get(),
+                                             ledger_blocks_store_.get(),
+                                             std::move(lopts));
+
+  // Bootstrap the ledger metadata system tables (paper §3.5.2, Figure 6).
+  auto make_sys = [&](uint32_t id, uint32_t history_id,
+                      const std::string& name, const Schema& user_schema,
+                      TableKind kind) {
+    auto entry = std::make_unique<CatalogEntry>();
+    entry->table_id = id;
+    entry->name = name;
+    entry->kind = kind;
+    entry->is_system = true;
+    Schema full = MakeLedgerSchema(user_schema, kind);
+    entry->main = std::make_unique<TableStore>(id, name, full);
+    if (kind == TableKind::kUpdateable) {
+      entry->history = std::make_unique<TableStore>(
+          history_id, name + "_history", MakeHistorySchema(full));
+    }
+    entry->ref.table_id = id;
+    entry->ref.kind = kind;
+    entry->ref.main = entry->main.get();
+    entry->ref.history = entry->history ? entry->history.get() : nullptr;
+    entry->ref.RefreshOrdinals();
+    name_index_[name] = id;
+    catalog_[id] = std::move(entry);
+  };
+  make_sys(kSysTablesTableId, kSysTablesHistoryTableId, "sys_ledger_tables",
+           MakeSysTablesSchema(), TableKind::kUpdateable);
+  make_sys(kSysColumnsTableId, kSysColumnsHistoryTableId,
+           "sys_ledger_columns", MakeSysColumnsSchema(),
+           TableKind::kUpdateable);
+  make_sys(kSysTruncationsTableId, 0, "sys_ledger_truncations",
+           MakeSysTruncationsSchema(), TableKind::kAppendOnly);
+
+  // Record the system tables' own metadata through the ledger, so even the
+  // bootstrap is auditable.
+  auto txn = Begin("system");
+  if (!txn.ok()) return txn.status();
+  for (uint32_t id :
+       {kSysTablesTableId, kSysColumnsTableId, kSysTruncationsTableId}) {
+    CatalogEntry* entry = FindTableById(id);
+    Status st = RecordTableMetadata(*txn, *entry);
+    if (!st.ok()) {
+      Abort(*txn);
+      return st;
+    }
+  }
+  return Commit(*txn);
+}
+
+std::vector<uint8_t> LedgerDatabase::EncodeCatalogMeta() const {
+  std::vector<uint8_t> out;
+  PutLengthPrefixed(&out, Slice(create_time_));
+  PutVarint32(&out, next_table_id_);
+  PutVarint64(&out, next_txn_id_);
+  PutVarint64(&out, committed_txns_);
+  out.push_back(options_.enable_ledger ? 1 : 0);
+  PutVarint32(&out, static_cast<uint32_t>(catalog_.size()));
+  for (const auto& [id, entry] : catalog_) {
+    PutVarint32(&out, entry->table_id);
+    PutLengthPrefixed(&out, Slice(entry->name));
+    out.push_back(static_cast<uint8_t>(entry->kind));
+    out.push_back(entry->dropped ? 1 : 0);
+    out.push_back(entry->is_system ? 1 : 0);
+    PutVarint32(&out, entry->history ? entry->history->table_id() : 0);
+  }
+  return out;
+}
+
+Status LedgerDatabase::DecodeCatalogMeta(
+    Slice meta, std::vector<std::unique_ptr<TableStore>> stores) {
+  std::map<uint32_t, std::unique_ptr<TableStore>> by_id;
+  for (auto& store : stores) {
+    uint32_t id = store->table_id();
+    by_id[id] = std::move(store);
+  }
+
+  Decoder dec(meta);
+  auto create_time = dec.GetLengthPrefixed();
+  if (!create_time.ok()) return create_time.status();
+  create_time_ = options_.force_new_incarnation
+                     ? std::to_string(options_.clock())
+                     : create_time->ToString();
+
+  auto next_table = dec.GetVarint32();
+  if (!next_table.ok()) return next_table.status();
+  next_table_id_ = *next_table;
+  auto next_txn = dec.GetVarint64();
+  if (!next_txn.ok()) return next_txn.status();
+  next_txn_id_ = *next_txn;
+  auto committed = dec.GetVarint64();
+  if (!committed.ok()) return committed.status();
+  committed_txns_ = *committed;
+  auto ledger_enabled = dec.GetBytes(1);
+  if (!ledger_enabled.ok()) return ledger_enabled.status();
+  if (((*ledger_enabled)[0] != 0) != options_.enable_ledger)
+    return Status::InvalidArgument(
+        "enable_ledger option does not match on-disk database");
+
+  auto take_store = [&by_id](uint32_t id) -> std::unique_ptr<TableStore> {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) return nullptr;
+    auto store = std::move(it->second);
+    by_id.erase(it);
+    return store;
+  };
+
+  ledger_txns_store_ = take_store(kLedgerTransactionsTableId);
+  ledger_blocks_store_ = take_store(kLedgerBlocksTableId);
+  if (ledger_txns_store_ == nullptr || ledger_blocks_store_ == nullptr)
+    return Status::Corruption("checkpoint missing ledger system tables");
+
+  auto num_entries = dec.GetVarint32();
+  if (!num_entries.ok()) return num_entries.status();
+  for (uint32_t i = 0; i < *num_entries; i++) {
+    auto table_id = dec.GetVarint32();
+    if (!table_id.ok()) return table_id.status();
+    auto name = dec.GetLengthPrefixed();
+    if (!name.ok()) return name.status();
+    auto kind_b = dec.GetBytes(1);
+    if (!kind_b.ok()) return kind_b.status();
+    auto dropped_b = dec.GetBytes(1);
+    if (!dropped_b.ok()) return dropped_b.status();
+    auto system_b = dec.GetBytes(1);
+    if (!system_b.ok()) return system_b.status();
+    auto history_id = dec.GetVarint32();
+    if (!history_id.ok()) return history_id.status();
+
+    auto entry = std::make_unique<CatalogEntry>();
+    entry->table_id = *table_id;
+    entry->name = name->ToString();
+    entry->kind = static_cast<TableKind>((*kind_b)[0]);
+    entry->dropped = (*dropped_b)[0] != 0;
+    entry->is_system = (*system_b)[0] != 0;
+    entry->main = take_store(*table_id);
+    if (entry->main == nullptr)
+      return Status::Corruption("checkpoint missing store for table '" +
+                                entry->name + "'");
+    if (*history_id != 0) {
+      entry->history = take_store(*history_id);
+      if (entry->history == nullptr)
+        return Status::Corruption("checkpoint missing history store for '" +
+                                  entry->name + "'");
+    }
+    entry->ref.table_id = entry->table_id;
+    entry->ref.kind = entry->kind;
+    entry->ref.main = entry->main.get();
+    entry->ref.history = entry->history ? entry->history.get() : nullptr;
+    entry->ref.RefreshOrdinals();
+    if (!entry->dropped) name_index_[entry->name] = entry->table_id;
+    catalog_[entry->table_id] = std::move(entry);
+  }
+  if (!dec.done()) return Status::Corruption("trailing bytes in catalog meta");
+  return Status::OK();
+}
+
+Status LedgerDatabase::Recover() {
+  auto checkpoint = ReadCheckpoint(checkpoint_path_);
+  if (!checkpoint.ok()) return checkpoint.status();
+  SL_RETURN_IF_ERROR(DecodeCatalogMeta(Slice(checkpoint->meta),
+                                       std::move(checkpoint->tables)));
+  if (options_.enable_ledger) {
+    DatabaseLedgerOptions lopts;
+    lopts.block_size = options_.block_size;
+    lopts.clock = options_.clock;
+    ledger_ = std::make_unique<DatabaseLedger>(ledger_txns_store_.get(),
+                                               ledger_blocks_store_.get(),
+                                               std::move(lopts));
+    SL_RETURN_IF_ERROR(ledger_->LoadFromTables());
+  }
+  // Replay the WAL tail: redo row operations idempotently and rebuild the
+  // Database Ledger's in-memory queue from the commit records (the Analysis
+  // phase of paper §3.3.2).
+  auto replayed = Wal::Replay(
+      wal_path_, [this](Slice payload) { return ReplayWalRecord(payload); });
+  if (!replayed.ok()) return replayed.status();
+  return Status::OK();
+}
+
+Status LedgerDatabase::ReplayWalRecord(Slice payload) {
+  if (payload.empty()) return Status::Corruption("empty WAL record");
+  uint8_t kind = payload[0];
+  Slice body(payload.data() + 1, payload.size() - 1);
+
+  if (kind == kWalKindBlockClose) {
+    Decoder dec(body);
+    auto block_id = dec.GetVarint64();
+    if (!block_id.ok()) return block_id.status();
+    if (ledger_ != nullptr) return ledger_->RecoverBlockClose(*block_id);
+    return Status::OK();
+  }
+  if (kind != kWalKindCommit)
+    return Status::Corruption("unknown WAL record kind");
+
+  auto record = WalCommitRecord::Decode(body);
+  if (!record.ok()) return record.status();
+
+  // Redo row operations, idempotently.
+  for (const WalOp& op : record->ops) {
+    TableStore* store = nullptr;
+    for (auto& [id, entry] : catalog_) {
+      if (entry->main->table_id() == op.table_id) {
+        store = entry->main.get();
+        break;
+      }
+      if (entry->history && entry->history->table_id() == op.table_id) {
+        store = entry->history.get();
+        break;
+      }
+    }
+    if (store == nullptr)
+      return Status::Corruption("WAL references unknown table id " +
+                                std::to_string(op.table_id));
+    switch (op.type) {
+      case WalOpType::kInsert: {
+        if (store->Get(op.key) == nullptr)
+          SL_RETURN_IF_ERROR(store->Insert(op.new_row));
+        break;
+      }
+      case WalOpType::kUpdate: {
+        if (store->Get(op.key) == nullptr) {
+          SL_RETURN_IF_ERROR(store->Insert(op.new_row));
+        } else {
+          SL_RETURN_IF_ERROR(store->Update(op.new_row));
+        }
+        break;
+      }
+      case WalOpType::kDelete: {
+        if (store->Get(op.key) != nullptr)
+          SL_RETURN_IF_ERROR(store->Delete(op.key));
+        break;
+      }
+    }
+  }
+
+  if (ledger_ != nullptr) {
+    TransactionEntry entry;
+    entry.txn_id = record->txn_id;
+    entry.block_id = record->block_id;
+    entry.block_ordinal = record->block_ordinal;
+    entry.commit_ts_micros = record->commit_ts_micros;
+    entry.user_name = record->user_name;
+    entry.table_roots = record->table_roots;
+    SL_RETURN_IF_ERROR(ledger_->RecoverEntry(entry));
+  }
+  if (record->txn_id >= next_txn_id_) next_txn_id_ = record->txn_id + 1;
+  committed_txns_++;
+  return Status::OK();
+}
+
+// ---- Catalog helpers ----
+
+CatalogEntry* LedgerDatabase::FindTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) return nullptr;
+  return catalog_[it->second].get();
+}
+
+CatalogEntry* LedgerDatabase::FindTableById(uint32_t table_id) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  auto it = catalog_.find(table_id);
+  return it == catalog_.end() ? nullptr : it->second.get();
+}
+
+Result<LedgerTableRef> LedgerDatabase::GetTableRef(const std::string& name) {
+  CatalogEntry* entry = FindTable(name);
+  if (entry == nullptr) return Status::NotFound("table '" + name + "' not found");
+  return entry->ref;
+}
+
+std::vector<CatalogEntry*> LedgerDatabase::AllTables() {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::vector<CatalogEntry*> out;
+  out.reserve(catalog_.size());
+  for (auto& [id, entry] : catalog_) out.push_back(entry.get());
+  return out;
+}
+
+TableStore* LedgerDatabase::GetStoreForTesting(const std::string& table,
+                                               bool history) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return nullptr;
+  return history ? entry->history.get() : entry->main.get();
+}
+
+// ---- DDL ----
+
+Status LedgerDatabase::CreateTable(const std::string& name,
+                                   const Schema& user_schema, TableKind kind) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  if (FindTable(name) != nullptr)
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  if (!user_schema.HasPrimaryKey())
+    return Status::InvalidArgument("table requires a primary key");
+  if (!options_.enable_ledger) kind = TableKind::kRegular;
+
+  auto entry = std::make_unique<CatalogEntry>();
+  entry->table_id = next_table_id_++;
+  entry->name = name;
+  entry->kind = kind;
+
+  Schema full = MakeLedgerSchema(user_schema, kind);
+  entry->main = std::make_unique<TableStore>(entry->table_id, name, full);
+  if (kind == TableKind::kUpdateable) {
+    uint32_t history_id = next_table_id_++;
+    entry->history = std::make_unique<TableStore>(
+        history_id, name + "_history", MakeHistorySchema(full));
+  }
+  entry->ref.table_id = entry->table_id;
+  entry->ref.kind = kind;
+  entry->ref.main = entry->main.get();
+  entry->ref.history = entry->history ? entry->history.get() : nullptr;
+  entry->ref.RefreshOrdinals();
+
+  CatalogEntry* raw = entry.get();
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    name_index_[name] = entry->table_id;
+    catalog_[entry->table_id] = std::move(entry);
+  }
+
+  if (options_.enable_ledger) {
+    auto txn = Begin("system:ddl");
+    if (!txn.ok()) return txn.status();
+    Status st = RecordTableMetadata(*txn, *raw);
+    if (st.ok()) {
+      for (const ColumnDef& col : raw->main->schema().columns()) {
+        if (col.hidden) continue;
+        st = RecordColumnMetadata(*txn, raw->table_id, col);
+        if (!st.ok()) break;
+      }
+    }
+    if (!st.ok()) {
+      Abort(*txn);
+      return st;
+    }
+    SL_RETURN_IF_ERROR(Commit(*txn));
+  }
+  if (!options_.data_dir.empty()) return Checkpoint();
+  return Status::OK();
+}
+
+Status LedgerDatabase::CreateIndex(const std::string& table,
+                                   const std::string& index_name,
+                                   const std::vector<std::string>& columns,
+                                   bool unique) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  std::vector<size_t> ordinals;
+  for (const std::string& col : columns) {
+    int ord = entry->main->schema().FindColumn(col);
+    if (ord < 0)
+      return Status::NotFound("column '" + col + "' not found in '" + table +
+                              "'");
+    ordinals.push_back(static_cast<size_t>(ord));
+  }
+  SL_RETURN_IF_ERROR(entry->main->CreateIndex(index_name, ordinals, unique));
+  if (entry->history != nullptr) {
+    // Mirror the index on the history table so historical queries are
+    // equally served; invariant 5 verifies both.
+    Status st = entry->history->CreateIndex(index_name, ordinals,
+                                            /*unique=*/false);
+    if (!st.ok()) {
+      entry->main->DropIndex(index_name);
+      return st;
+    }
+  }
+  if (!options_.data_dir.empty()) return Checkpoint();
+  return Status::OK();
+}
+
+Status LedgerDatabase::DropIndex(const std::string& table,
+                                 const std::string& index_name) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  SL_RETURN_IF_ERROR(entry->main->DropIndex(index_name));
+  if (entry->history != nullptr) entry->history->DropIndex(index_name);
+  if (!options_.data_dir.empty()) return Checkpoint();
+  return Status::OK();
+}
+
+// ---- Transactions ----
+
+Result<Transaction*> LedgerDatabase::Begin(const std::string& user) {
+  std::unique_lock<std::mutex> lock(txn_mu_);
+  txn_cv_.wait(lock, [this] { return !quiescing_; });
+  uint64_t id = next_txn_id_++;
+  auto txn = std::make_unique<Transaction>(id, user);
+  Transaction* raw = txn.get();
+  active_txns_[id] = std::move(txn);
+  return raw;
+}
+
+Status LedgerDatabase::Commit(Transaction* txn) {
+  if (txn == nullptr || !txn->active())
+    return Status::InvalidArgument("transaction not active");
+
+  if (!txn->ops().empty()) {
+    int64_t commit_ts = options_.clock();
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+
+    uint64_t block_id = 0, ordinal = 0;
+    if (ledger_ != nullptr) {
+      auto slot = ledger_->AssignSlot();
+      block_id = slot.first;
+      ordinal = slot.second;
+    }
+
+    if (wal_ != nullptr) {
+      WalCommitRecord record;
+      record.txn_id = txn->id();
+      record.commit_ts_micros = commit_ts;
+      record.user_name = txn->user_name();
+      record.block_id = block_id;
+      record.block_ordinal = ordinal;
+      record.table_roots = txn->TableRoots();
+      record.ops = txn->ops();
+      std::vector<uint8_t> payload{kWalKindCommit};
+      record.EncodeTo(&payload);
+      SL_RETURN_IF_ERROR(wal_->AppendRecord(Slice(payload)));
+    }
+
+    if (ledger_ != nullptr) {
+      TransactionEntry entry;
+      entry.txn_id = txn->id();
+      entry.block_id = block_id;
+      entry.block_ordinal = ordinal;
+      entry.commit_ts_micros = commit_ts;
+      entry.user_name = txn->user_name();
+      entry.table_roots = txn->TableRoots();
+      SL_RETURN_IF_ERROR(ledger_->Append(std::move(entry)));
+    }
+  }
+
+  txn->MarkCommitted();
+  locks_.ReleaseAll(txn->id());
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    committed_txns_++;
+    active_txns_.erase(txn->id());
+    txn_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void LedgerDatabase::Abort(Transaction* txn) {
+  if (txn == nullptr) return;
+  txn->Abort();
+  locks_.ReleaseAll(txn->id());
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  active_txns_.erase(txn->id());
+  txn_cv_.notify_all();
+}
+
+Status LedgerDatabase::Savepoint(Transaction* txn, const std::string& name) {
+  if (txn == nullptr) return Status::InvalidArgument("null transaction");
+  return txn->CreateSavepoint(name);
+}
+
+Status LedgerDatabase::RollbackToSavepoint(Transaction* txn,
+                                           const std::string& name) {
+  if (txn == nullptr) return Status::InvalidArgument("null transaction");
+  return txn->RollbackToSavepoint(name);
+}
+
+// ---- DML ----
+
+Status LedgerDatabase::AcquireTableLock(Transaction* txn,
+                                        const CatalogEntry& entry,
+                                        LockMode mode) {
+  Status st = locks_.AcquireTable(txn->id(), entry.table_id, mode);
+  if (!st.ok())
+    return Status::Aborted("lock acquisition failed on '" + entry.name +
+                           "': " + st.message());
+  return Status::OK();
+}
+
+Status LedgerDatabase::AcquireRowLock(Transaction* txn,
+                                      const CatalogEntry& entry,
+                                      const KeyTuple& key, LockMode mode) {
+  Status st = locks_.AcquireRow(txn->id(), entry.table_id, key, mode);
+  if (!st.ok())
+    return Status::Aborted("row lock acquisition failed on '" + entry.name +
+                           "': " + st.message());
+  return Status::OK();
+}
+
+Result<KeyTuple> LedgerDatabase::UserKeyOf(const CatalogEntry& entry,
+                                           const Row& user_row) {
+  const Schema& schema = entry.main->schema();
+  std::vector<size_t> visible = schema.VisibleOrdinals();
+  KeyTuple key;
+  for (size_t key_ord : schema.key_ordinals()) {
+    bool found = false;
+    for (size_t j = 0; j < visible.size(); j++) {
+      if (visible[j] == key_ord) {
+        if (j >= user_row.size())
+          return Status::InvalidArgument(
+              "row is missing primary-key columns");
+        key.push_back(user_row[j]);
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return Status::Internal("primary-key column is not visible");
+  }
+  return key;
+}
+
+Status LedgerDatabase::WithTableExclusive(
+    CatalogEntry* entry, const std::function<Status()>& body) {
+  auto txn = Begin("system:ddl-lock");
+  if (!txn.ok()) return txn.status();
+  Status st = AcquireTableLock(*txn, *entry, LockMode::kExclusive);
+  if (st.ok()) st = body();
+  if (!st.ok()) {
+    Abort(*txn);
+    return st;
+  }
+  return Commit(*txn);
+}
+
+Status LedgerDatabase::Insert(Transaction* txn, const std::string& table,
+                              const Row& user_row) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  auto key = UserKeyOf(*entry, user_row);
+  if (!key.ok()) return key.status();
+  SL_RETURN_IF_ERROR(
+      AcquireTableLock(txn, *entry, LockMode::kIntentionExclusive));
+  SL_RETURN_IF_ERROR(AcquireRowLock(txn, *entry, *key, LockMode::kExclusive));
+  return LedgerInsert(txn, entry->ref, user_row);
+}
+
+Status LedgerDatabase::Update(Transaction* txn, const std::string& table,
+                              const Row& user_row) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  auto key = UserKeyOf(*entry, user_row);
+  if (!key.ok()) return key.status();
+  SL_RETURN_IF_ERROR(
+      AcquireTableLock(txn, *entry, LockMode::kIntentionExclusive));
+  SL_RETURN_IF_ERROR(AcquireRowLock(txn, *entry, *key, LockMode::kExclusive));
+  return LedgerUpdate(txn, entry->ref, user_row);
+}
+
+Status LedgerDatabase::Delete(Transaction* txn, const std::string& table,
+                              const KeyTuple& key) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  SL_RETURN_IF_ERROR(
+      AcquireTableLock(txn, *entry, LockMode::kIntentionExclusive));
+  SL_RETURN_IF_ERROR(AcquireRowLock(txn, *entry, key, LockMode::kExclusive));
+  return LedgerDelete(txn, entry->ref, key);
+}
+
+Result<Row> LedgerDatabase::Get(Transaction* txn, const std::string& table,
+                                const KeyTuple& key) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  SL_RETURN_IF_ERROR(
+      AcquireTableLock(txn, *entry, LockMode::kIntentionShared));
+  SL_RETURN_IF_ERROR(AcquireRowLock(txn, *entry, key, LockMode::kShared));
+  auto row = entry->main->GetCopy(key);
+  if (!row.has_value()) return Status::NotFound("row not found");
+  Row out;
+  for (size_t ord : entry->main->schema().VisibleOrdinals())
+    out.push_back((*row)[ord]);
+  return out;
+}
+
+Result<std::vector<Row>> LedgerDatabase::Scan(Transaction* txn,
+                                              const std::string& table) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  SL_RETURN_IF_ERROR(AcquireTableLock(txn, *entry, LockMode::kShared));
+  std::vector<Row> out;
+  std::vector<size_t> visible = entry->main->schema().VisibleOrdinals();
+  for (BTree::Iterator it = entry->main->Scan(); it.Valid(); it.Next()) {
+    Row row;
+    for (size_t ord : visible) row.push_back(it.value()[ord]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Row> LedgerDatabase::SeekFirst(Transaction* txn,
+                                      const std::string& table,
+                                      const KeyTuple& prefix) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  SL_RETURN_IF_ERROR(AcquireTableLock(txn, *entry, LockMode::kShared));
+  auto row = entry->main->SeekFirstCopy(prefix);
+  if (!row.has_value())
+    return Status::NotFound("no row with the given key prefix");
+  Row out;
+  for (size_t ord : entry->main->schema().VisibleOrdinals())
+    out.push_back((*row)[ord]);
+  return out;
+}
+
+// ---- Ledger features ----
+
+Result<DatabaseDigest> LedgerDatabase::GenerateDigest() {
+  if (ledger_ == nullptr)
+    return Status::NotSupported("ledger is disabled for this database");
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  uint64_t closed_before = ledger_->closed_block_count();
+  auto digest = ledger_->GenerateDigest(options_.database_id, create_time_);
+  if (!digest.ok()) return digest;
+  if (wal_ != nullptr && ledger_->closed_block_count() > closed_before) {
+    // Make the block close durable so a post-crash recovery rebuilds the
+    // exact block this digest covers.
+    std::vector<uint8_t> payload{kWalKindBlockClose};
+    PutVarint64(&payload, digest->block_id);
+    SL_RETURN_IF_ERROR(wal_->AppendRecord(Slice(payload)));
+  }
+  return digest;
+}
+
+Result<std::vector<LedgerViewRow>> LedgerDatabase::GetLedgerView(
+    const std::string& table) {
+  CatalogEntry* entry = FindTable(table);
+  if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
+  // A table S lock excludes writers (their IX conflicts) for the duration
+  // of the scan over the ledger and history stores.
+  auto txn = Begin("system:view");
+  if (!txn.ok()) return txn.status();
+  Status st = AcquireTableLock(*txn, *entry, LockMode::kShared);
+  if (!st.ok()) {
+    Abort(*txn);
+    return st;
+  }
+  auto view = BuildLedgerView(entry->ref);
+  SL_RETURN_IF_ERROR(Commit(*txn));
+  return view;
+}
+
+Result<std::vector<TableOperationRow>> LedgerDatabase::GetTableOperationsView() {
+  CatalogEntry* sys = FindTableById(kSysTablesTableId);
+  if (sys == nullptr)
+    return Status::NotSupported("ledger is disabled for this database");
+  auto txn = Begin("system:view");
+  if (!txn.ok()) return txn.status();
+  Status lock_st = AcquireTableLock(*txn, *sys, LockMode::kShared);
+  if (!lock_st.ok()) {
+    Abort(*txn);
+    return lock_st;
+  }
+  auto view = BuildLedgerView(sys->ref);
+  SL_RETURN_IF_ERROR(Commit(*txn));
+  if (!view.ok()) return view.status();
+  std::vector<TableOperationRow> out;
+  for (const LedgerViewRow& row : *view) {
+    if (row.operation != "INSERT") continue;  // DELETE halves of updates
+    TableOperationRow op;
+    op.table_name = row.values[0].string_value();
+    op.table_id = static_cast<uint32_t>(row.values[1].AsInt64());
+    op.operation =
+        op.table_name.rfind("DroppedTable_", 0) == 0 ? "DROP" : "CREATE";
+    op.transaction_id = row.transaction_id;
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::string DatabaseStats::ToString() const {
+  return "txns=" + std::to_string(committed_transactions) +
+         " blocks=" + std::to_string(closed_blocks) +
+         " open_block_entries=" + std::to_string(open_block_entries) +
+         " queue=" + std::to_string(ledger_queue_depth) +
+         " ledger_entries=" + std::to_string(total_ledger_entries) +
+         " tables=" + std::to_string(table_count) + " (" +
+         std::to_string(ledger_table_count) + " ledger)" +
+         " live_rows=" + std::to_string(live_rows) +
+         " history_rows=" + std::to_string(history_rows);
+}
+
+DatabaseStats LedgerDatabase::GetStats() {
+  DatabaseStats stats;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    stats.committed_transactions = committed_txns_;
+  }
+  if (ledger_ != nullptr) {
+    stats.closed_blocks = ledger_->closed_block_count();
+    stats.open_block_entries = ledger_->open_block_entry_count();
+    stats.ledger_queue_depth = ledger_->queue_depth();
+    stats.total_ledger_entries = ledger_->total_entries();
+  }
+  for (CatalogEntry* entry : AllTables()) {
+    if (entry->is_system) continue;
+    stats.table_count++;
+    if (entry->kind != TableKind::kRegular) stats.ledger_table_count++;
+    stats.live_rows += entry->main->row_count();
+    if (entry->history != nullptr)
+      stats.history_rows += entry->history->row_count();
+  }
+  return stats;
+}
+
+std::vector<TruncationRecord> LedgerDatabase::GetTruncationRecords() {
+  std::vector<TruncationRecord> out;
+  CatalogEntry* sys = FindTableById(kSysTruncationsTableId);
+  if (sys == nullptr) return out;
+  for (BTree::Iterator it = sys->main->Scan(); it.Valid(); it.Next()) {
+    TruncationRecord rec;
+    rec.truncated_below_block =
+        static_cast<uint64_t>(it.value()[0].AsInt64());
+    rec.min_txn_id = static_cast<uint64_t>(it.value()[1].AsInt64());
+    rec.max_txn_id = static_cast<uint64_t>(it.value()[2].AsInt64());
+    out.push_back(rec);
+  }
+  return out;
+}
+
+Status LedgerDatabase::RecordTruncation(const TruncationRecord& record) {
+  CatalogEntry* sys = FindTableById(kSysTruncationsTableId);
+  if (sys == nullptr)
+    return Status::NotSupported("ledger is disabled for this database");
+  auto txn = Begin("system:truncation");
+  if (!txn.ok()) return txn.status();
+  Row row{Value::BigInt(static_cast<int64_t>(record.truncated_below_block)),
+          Value::BigInt(static_cast<int64_t>(record.min_txn_id)),
+          Value::BigInt(static_cast<int64_t>(record.max_txn_id)),
+          Value::Timestamp(options_.clock())};
+  Status st = Insert(*txn, "sys_ledger_truncations", row);
+  if (!st.ok()) {
+    Abort(*txn);
+    return st;
+  }
+  return Commit(*txn);
+}
+
+// ---- Durability ----
+
+Status LedgerDatabase::Checkpoint() {
+  if (options_.data_dir.empty())
+    return Status::OK();  // ephemeral database: nothing to persist
+  QuiesceGuard guard(this);
+
+  if (ledger_ != nullptr) SL_RETURN_IF_ERROR(ledger_->DrainQueue());
+
+  std::vector<const TableStore*> stores;
+  stores.push_back(ledger_txns_store_.get());
+  stores.push_back(ledger_blocks_store_.get());
+  for (auto& [id, entry] : catalog_) {
+    stores.push_back(entry->main.get());
+    if (entry->history) stores.push_back(entry->history.get());
+  }
+  std::vector<uint8_t> meta = EncodeCatalogMeta();
+  SL_RETURN_IF_ERROR(WriteCheckpoint(checkpoint_path_, Slice(meta), stores));
+  if (wal_ != nullptr) SL_RETURN_IF_ERROR(wal_->Reset());
+  return Status::OK();
+}
+
+// ---- Quiescing ----
+
+LedgerDatabase::QuiesceGuard::QuiesceGuard(LedgerDatabase* db) : db_(db) {
+  std::unique_lock<std::mutex> lock(db_->txn_mu_);
+  db_->txn_cv_.wait(lock, [db] { return !db->quiescing_; });
+  db_->quiescing_ = true;
+  db_->txn_cv_.wait(lock, [db] { return db->active_txns_.empty(); });
+}
+
+LedgerDatabase::QuiesceGuard::~QuiesceGuard() {
+  std::lock_guard<std::mutex> lock(db_->txn_mu_);
+  db_->quiescing_ = false;
+  db_->txn_cv_.notify_all();
+}
+
+}  // namespace sqlledger

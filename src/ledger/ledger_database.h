@@ -1,0 +1,299 @@
+// LedgerDatabase: the public facade composing the storage engine, the
+// transaction layer and the ledger core into the system described by the
+// paper — transparent ledger tables over a transactional engine, with
+// digest generation, verification, receipts, schema evolution and
+// truncation.
+//
+// Concurrency model: strict two-phase hierarchical locking — point DML
+// takes an intention lock on the table plus a row lock (IS+S for reads,
+// IX+X for writes), scans take a table S lock, DDL takes table X — so
+// transactions touching different rows of the same table run concurrently.
+// Commits serialize through the WAL append and the Database Ledger's slot
+// assignment. Checkpoints, verification and ledger truncation quiesce the
+// database (wait for active transactions to drain, block new ones),
+// mirroring the paper's advice to run verification on an idle replica
+// (§4.2).
+
+#ifndef SQLLEDGER_LEDGER_LEDGER_DATABASE_H_
+#define SQLLEDGER_LEDGER_LEDGER_DATABASE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "ledger/database_ledger.h"
+#include "ledger/digest.h"
+#include "ledger/ledger_table.h"
+#include "ledger/ledger_view.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+struct LedgerDatabaseOptions {
+  /// Directory for the WAL and checkpoints; empty = ephemeral (no
+  /// durability, used by short-lived tests and benchmarks).
+  std::string data_dir;
+  /// Logical database id embedded in digests.
+  std::string database_id = "sqlledger";
+  /// false = plain transactional engine with no ledger machinery at all —
+  /// the "traditional SQL Server" baseline of the paper's §4 experiments.
+  /// All tables are forced to TableKind::kRegular.
+  bool enable_ledger = true;
+  /// Transactions per Database Ledger block (paper default: 100K).
+  uint64_t block_size = 100000;
+  /// fsync the WAL on every commit.
+  bool sync_wal = false;
+  /// Lock wait budget before a transaction is aborted (deadlock handling).
+  std::chrono::milliseconds lock_timeout{1000};
+  /// Injectable clock, microseconds since epoch. Defaults to system clock.
+  std::function<int64_t()> clock;
+  /// Key for the receipt/digest HMAC signer (see DESIGN.md §1.3).
+  std::vector<uint8_t> signing_key = {'d', 'e', 'v', '-', 'k', 'e', 'y'};
+  std::string signing_key_id = "dev-key-1";
+  /// Force a fresh incarnation tag even when reopening existing data —
+  /// set by point-in-time-restore simulation (paper §3.6).
+  bool force_new_incarnation = false;
+};
+
+/// Catalog entry for one table (regular or ledger).
+struct CatalogEntry {
+  uint32_t table_id = 0;
+  std::string name;
+  TableKind kind = TableKind::kRegular;
+  bool dropped = false;
+  bool is_system = false;
+  std::unique_ptr<TableStore> main;
+  std::unique_ptr<TableStore> history;  // updateable ledger tables only
+  LedgerTableRef ref;                   // cached physical reference
+};
+
+/// Row of the table-operations system view (paper Figure 6).
+struct TableOperationRow {
+  std::string table_name;
+  uint32_t table_id = 0;
+  std::string operation;  // "CREATE" or "DROP"
+  uint64_t transaction_id = 0;
+};
+
+/// Point-in-time operational statistics (monitoring surface).
+struct DatabaseStats {
+  uint64_t committed_transactions = 0;
+  uint64_t closed_blocks = 0;
+  uint64_t open_block_entries = 0;
+  uint64_t ledger_queue_depth = 0;
+  uint64_t total_ledger_entries = 0;
+  uint64_t table_count = 0;         // excluding system tables
+  uint64_t ledger_table_count = 0;  // append-only + updateable user tables
+  uint64_t live_rows = 0;
+  uint64_t history_rows = 0;
+
+  std::string ToString() const;
+};
+
+/// A recorded ledger truncation (paper §5.2), used by the verifier to
+/// distinguish truncated references from tampering.
+struct TruncationRecord {
+  uint64_t truncated_below_block = 0;
+  uint64_t min_txn_id = 0;
+  uint64_t max_txn_id = 0;
+};
+
+class LedgerDatabase {
+ public:
+  /// Opens (or creates) a database. Runs recovery if `data_dir` holds a
+  /// checkpoint and/or WAL: checkpoint load, then idempotent WAL replay
+  /// that also reconstructs the Database Ledger's in-memory queue from the
+  /// commit records (paper §3.3.2).
+  static Result<std::unique_ptr<LedgerDatabase>> Open(
+      LedgerDatabaseOptions options);
+
+  /// Point-in-time restore (paper §3.6): copies the durable state at
+  /// `source_dir` into `options.data_dir` and opens it as a NEW incarnation
+  /// of the database (fresh create-time tag), so its digests coexist with
+  /// the original's in the digest store. `source_dir` must hold a
+  /// checkpointed database; it is opened read-only (copied).
+  static Result<std::unique_ptr<LedgerDatabase>> Restore(
+      const std::string& source_dir, LedgerDatabaseOptions options);
+
+  ~LedgerDatabase();
+
+  LedgerDatabase(const LedgerDatabase&) = delete;
+  LedgerDatabase& operator=(const LedgerDatabase&) = delete;
+
+  // ---- DDL ----
+
+  /// Creates a table. `user_schema` holds the application columns with the
+  /// primary key set; ledger system columns are appended automatically
+  /// (paper §3.1) and a history table is created for updateable ledger
+  /// tables. The creation is recorded in the ledger metadata tables.
+  Status CreateTable(const std::string& name, const Schema& user_schema,
+                     TableKind kind);
+  /// Non-clustered index management (physical schema change, §3.5).
+  Status CreateIndex(const std::string& table, const std::string& index_name,
+                     const std::vector<std::string>& columns, bool unique);
+  Status DropIndex(const std::string& table, const std::string& index_name);
+
+  // Logical schema changes (§3.5; implemented in schema_changes.cc).
+  Status AddColumn(const std::string& table, const std::string& column,
+                   DataType type, uint32_t max_length = 0);
+  Status DropColumn(const std::string& table, const std::string& column);
+  Status DropTable(const std::string& table);
+  Status AlterColumnType(const std::string& table, const std::string& column,
+                         DataType new_type);
+
+  // ---- Transactions ----
+
+  /// Starts a transaction on behalf of `user`. The returned pointer stays
+  /// valid until Commit/Abort.
+  Result<Transaction*> Begin(const std::string& user = "app");
+  /// Commits: forms the ledger transaction entry from the per-table Merkle
+  /// roots, assigns its block slot, writes the WAL commit record and
+  /// appends to the Database Ledger (paper §3.3.2).
+  Status Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+  Status Savepoint(Transaction* txn, const std::string& name);
+  Status RollbackToSavepoint(Transaction* txn, const std::string& name);
+
+  // ---- DML (visible-column rows; locks acquired automatically) ----
+
+  Status Insert(Transaction* txn, const std::string& table,
+                const Row& user_row);
+  Status Update(Transaction* txn, const std::string& table,
+                const Row& user_row);
+  Status Delete(Transaction* txn, const std::string& table,
+                const KeyTuple& key);
+  /// Point lookup returning visible columns.
+  Result<Row> Get(Transaction* txn, const std::string& table,
+                  const KeyTuple& key);
+  /// Full scan returning visible columns in clustered-key order.
+  Result<std::vector<Row>> Scan(Transaction* txn, const std::string& table);
+  /// First row whose clustered key starts with `prefix` (visible columns);
+  /// NotFound when no such row exists.
+  Result<Row> SeekFirst(Transaction* txn, const std::string& table,
+                        const KeyTuple& prefix);
+
+  // ---- Ledger features ----
+
+  /// Generates a Database Digest (paper §2.2): closes the open block and
+  /// returns the JSON-serializable digest of the newest block.
+  Result<DatabaseDigest> GenerateDigest();
+  /// Ledger view of one table (paper §2.1, Figure 2).
+  Result<std::vector<LedgerViewRow>> GetLedgerView(const std::string& table);
+  /// Table create/drop audit view (paper Figure 6).
+  Result<std::vector<TableOperationRow>> GetTableOperationsView();
+
+  // ---- Durability ----
+
+  /// Quiesces, drains the ledger queue into its system table, snapshots
+  /// all tables + catalog, and resets the WAL (paper §3.3.2).
+  Status Checkpoint();
+
+  // ---- Introspection (used by the verifier, receipts, truncation, tests
+  // and benchmarks) ----
+
+  Result<LedgerTableRef> GetTableRef(const std::string& name);
+  /// All catalog entries, id-ordered.
+  std::vector<CatalogEntry*> AllTables();
+  DatabaseLedger* database_ledger() { return ledger_.get(); }
+  const Signer& signer() const { return signer_; }
+  const LedgerDatabaseOptions& options() const { return options_; }
+  const std::string& create_time() const { return create_time_; }
+  int64_t NowMicros() const { return options_.clock(); }
+  uint64_t committed_txn_count() const { return committed_txns_; }
+  /// Snapshot of operational counters.
+  DatabaseStats GetStats();
+
+  /// Truncation records, newest watermark last (paper §5.2).
+  std::vector<TruncationRecord> GetTruncationRecords();
+  /// Appends a truncation record (called by TruncateLedger).
+  Status RecordTruncation(const TruncationRecord& record);
+
+  /// Waits for active transactions to finish and blocks new ones while the
+  /// returned guard lives. Used by checkpoint, verification and truncation.
+  class QuiesceGuard {
+   public:
+    explicit QuiesceGuard(LedgerDatabase* db);
+    ~QuiesceGuard();
+
+   private:
+    LedgerDatabase* db_;
+  };
+
+  /// Direct store access for tamper-simulation in tests/benches (the
+  /// storage-level attacker of §2.5.2). Never used by library code paths.
+  TableStore* GetStoreForTesting(const std::string& table,
+                                 bool history = false);
+
+ private:
+  explicit LedgerDatabase(LedgerDatabaseOptions options);
+
+  Status InitFresh();
+  Status Recover();
+  Status ReplayWalRecord(Slice payload);
+  std::vector<uint8_t> EncodeCatalogMeta() const;
+  Status DecodeCatalogMeta(Slice meta,
+                           std::vector<std::unique_ptr<TableStore>> stores);
+
+  CatalogEntry* FindTable(const std::string& name);
+  CatalogEntry* FindTableById(uint32_t table_id);
+  Status AcquireTableLock(Transaction* txn, const CatalogEntry& entry,
+                          LockMode mode);
+  Status AcquireRowLock(Transaction* txn, const CatalogEntry& entry,
+                        const KeyTuple& key, LockMode mode);
+  /// Clustered key of `user_row` (visible-column order), for row locking.
+  Result<KeyTuple> UserKeyOf(const CatalogEntry& entry, const Row& user_row);
+  /// Runs a short internal transaction holding the table X lock around a
+  /// schema mutation, excluding all concurrent users of the table.
+  Status WithTableExclusive(CatalogEntry* entry,
+                            const std::function<Status()>& body);
+  /// Records a CREATE/DROP/column metadata operation through the ledger
+  /// metadata tables inside `txn` (implemented in schema_changes.cc).
+  Status RecordTableMetadata(Transaction* txn, const CatalogEntry& entry);
+  Status RecordColumnMetadata(Transaction* txn, uint32_t table_id,
+                              const ColumnDef& col);
+  friend Status TruncateLedger(LedgerDatabase* db, uint64_t below_block,
+                               const std::vector<DatabaseDigest>& digests);
+
+  LedgerDatabaseOptions options_;
+  std::string create_time_;
+  std::string wal_path_;
+  std::string checkpoint_path_;
+
+  mutable std::shared_mutex catalog_mu_;  // guards the two maps below
+  std::map<uint32_t, std::unique_ptr<CatalogEntry>> catalog_;
+  std::map<std::string, uint32_t> name_index_;
+  uint32_t next_table_id_ = kFirstUserTableId;
+
+  // Database-ledger system stores (not in catalog_; internal).
+  std::unique_ptr<TableStore> ledger_txns_store_;
+  std::unique_ptr<TableStore> ledger_blocks_store_;
+  std::unique_ptr<DatabaseLedger> ledger_;
+
+  std::unique_ptr<Wal> wal_;
+  std::mutex commit_mu_;  // serializes WAL append + ledger append
+
+  LockManager locks_;
+  HmacSigner signer_;
+
+  // Transaction registry + quiescing.
+  std::mutex txn_mu_;
+  std::condition_variable txn_cv_;
+  std::map<uint64_t, std::unique_ptr<Transaction>> active_txns_;
+  uint64_t next_txn_id_ = 1;
+  bool quiescing_ = false;
+  uint64_t committed_txns_ = 0;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_LEDGER_DATABASE_H_

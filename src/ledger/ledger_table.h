@@ -1,0 +1,62 @@
+// Ledger-table DML (paper §3.2): every mutation of a ledger table
+//   1. stamps the hidden (transaction id, sequence number) system columns,
+//   2. preserves retired row versions in the history table, and
+//   3. appends the canonical leaf hash of each touched version to the
+//      transaction's per-table streaming Merkle tree.
+// Regular tables take the plain path — they are the baseline the paper
+// compares against in §4.
+
+#ifndef SQLLEDGER_LEDGER_LEDGER_TABLE_H_
+#define SQLLEDGER_LEDGER_LEDGER_TABLE_H_
+
+#include "catalog/schema.h"
+#include "ledger/types.h"
+#include "storage/table_store.h"
+#include "txn/transaction.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+/// A resolved reference to one table's physical stores plus the cached
+/// ordinals of the hidden system columns.
+struct LedgerTableRef {
+  uint32_t table_id = 0;
+  TableKind kind = TableKind::kRegular;
+  TableStore* main = nullptr;
+  TableStore* history = nullptr;  // updateable ledger tables only
+
+  int start_txn_ord = -1;
+  int start_seq_ord = -1;
+  int end_txn_ord = -1;  // -1 for append-only tables
+  int end_seq_ord = -1;
+
+  /// Re-derives the hidden-column ordinals from the current schema. Must be
+  /// called after any schema change.
+  void RefreshOrdinals();
+};
+
+/// Builds a ledger table's full schema from the user schema: appends the
+/// hidden system columns (paper §3.1). Append-only tables get only the
+/// start pair (rows are never retired).
+Schema MakeLedgerSchema(const Schema& user_schema, TableKind kind);
+
+/// The mirrored history-table schema: same columns and column ids, keyed by
+/// (end transaction id, end sequence number) — unique per retired version.
+Schema MakeHistorySchema(const Schema& ledger_schema);
+
+/// Inserts `user_row` (visible columns only, ordinal order).
+Status LedgerInsert(Transaction* txn, const LedgerTableRef& table,
+                    const Row& user_row);
+
+/// Replaces the row whose primary key matches `user_row`'s key columns.
+/// Primary-key columns must be unchanged (delete + insert to move a row).
+Status LedgerUpdate(Transaction* txn, const LedgerTableRef& table,
+                    const Row& user_row);
+
+/// Deletes the row with the given primary key (user key columns).
+Status LedgerDelete(Transaction* txn, const LedgerTableRef& table,
+                    const KeyTuple& key);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_LEDGER_TABLE_H_

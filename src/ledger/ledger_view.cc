@@ -1,0 +1,90 @@
+#include "ledger/ledger_view.h"
+
+#include <algorithm>
+
+namespace sqlledger {
+
+namespace {
+Row VisibleValues(const Schema& schema, const Row& row) {
+  Row out;
+  for (size_t ord : schema.VisibleOrdinals()) out.push_back(row[ord]);
+  return out;
+}
+
+void AppendVersionOps(const LedgerTableRef& t, const Schema& schema,
+                      const Row& row, bool include_delete,
+                      std::vector<LedgerViewRow>* out) {
+  const Value& start_txn = row[t.start_txn_ord];
+  if (!start_txn.is_null()) {
+    LedgerViewRow v;
+    v.values = VisibleValues(schema, row);
+    v.operation = "INSERT";
+    v.transaction_id = static_cast<uint64_t>(start_txn.AsInt64());
+    v.sequence_number =
+        static_cast<uint64_t>(row[t.start_seq_ord].AsInt64());
+    out->push_back(std::move(v));
+  }
+  if (include_delete && t.end_txn_ord >= 0) {
+    const Value& end_txn = row[t.end_txn_ord];
+    if (!end_txn.is_null()) {
+      LedgerViewRow v;
+      v.values = VisibleValues(schema, row);
+      v.operation = "DELETE";
+      v.transaction_id = static_cast<uint64_t>(end_txn.AsInt64());
+      v.sequence_number =
+          static_cast<uint64_t>(row[t.end_seq_ord].AsInt64());
+      out->push_back(std::move(v));
+    }
+  }
+}
+}  // namespace
+
+Result<std::vector<LedgerViewRow>> BuildLedgerView(
+    const LedgerTableRef& table) {
+  if (table.kind == TableKind::kRegular)
+    return Status::InvalidArgument("table is not a ledger table");
+
+  std::vector<LedgerViewRow> out;
+  const Schema& schema = table.main->schema();
+  for (BTree::Iterator it = table.main->Scan(); it.Valid(); it.Next()) {
+    // Live versions are never retired, so no DELETE op can exist for them.
+    AppendVersionOps(table, schema, it.value(), /*include_delete=*/false,
+                     &out);
+  }
+  if (table.history != nullptr) {
+    for (BTree::Iterator it = table.history->Scan(); it.Valid(); it.Next()) {
+      AppendVersionOps(table, schema, it.value(), /*include_delete=*/true,
+                       &out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LedgerViewRow& a, const LedgerViewRow& b) {
+              if (a.transaction_id != b.transaction_id)
+                return a.transaction_id < b.transaction_id;
+              return a.sequence_number < b.sequence_number;
+            });
+  return out;
+}
+
+std::string FormatLedgerView(const Schema& schema,
+                             const std::vector<LedgerViewRow>& rows) {
+  std::string out;
+  for (size_t ord : schema.VisibleOrdinals()) {
+    out += schema.column(ord).name;
+    out += "\t";
+  }
+  out += "Operation\tTransaction ID\n";
+  for (const LedgerViewRow& row : rows) {
+    for (const Value& v : row.values) {
+      out += v.ToString();
+      out += "\t";
+    }
+    out += row.operation;
+    out += "\t";
+    out += std::to_string(row.transaction_id);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,37 @@
+// Ledger views (paper §2.1, Figure 2): for every ledger table, a generated
+// view reporting each row operation (INSERT / DELETE) together with the id
+// of the transaction that performed it, built by unioning the ledger table
+// with its history table. An UPDATE appears as a DELETE of the old version
+// followed by an INSERT of the new one within the same transaction.
+
+#ifndef SQLLEDGER_LEDGER_LEDGER_VIEW_H_
+#define SQLLEDGER_LEDGER_LEDGER_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "ledger/ledger_table.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+struct LedgerViewRow {
+  /// Application-visible column values of the row version.
+  Row values;
+  /// "INSERT" or "DELETE".
+  std::string operation;
+  uint64_t transaction_id = 0;
+  uint64_t sequence_number = 0;
+};
+
+/// Materializes the ledger view for one table, ordered by
+/// (transaction id, sequence number). Fails on regular tables.
+Result<std::vector<LedgerViewRow>> BuildLedgerView(const LedgerTableRef& table);
+
+/// Renders view rows as a fixed-width text table (examples and debugging).
+std::string FormatLedgerView(const Schema& schema,
+                             const std::vector<LedgerViewRow>& rows);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_LEDGER_VIEW_H_

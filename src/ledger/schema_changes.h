@@ -1,0 +1,24 @@
+// Logical schema changes on ledger tables (paper §3.5). The operations are
+// member functions of LedgerDatabase (declared in ledger_database.h) and
+// implemented here; this header only documents the semantics:
+//
+//   AddColumn        — nullable only; NULLs are skipped by the canonical
+//                      row format, so existing row hashes are unaffected
+//                      (§3.5.1).
+//   DropColumn       — logical: the column is marked dropped and hidden
+//                      from the user schema, its data stays and keeps
+//                      verifying (§3.5.2).
+//   DropTable        — rename-and-hide: the table (and its history) stays
+//                      physically present, verifiable by object id; the
+//                      rename is recorded through the ledger metadata
+//                      tables (Figure 6).
+//   AlterColumnType  — drop + re-add under the original name + transactional
+//                      repopulation with cast values (§3.5.3), so every
+//                      converted row version is hashed into the ledger.
+
+#ifndef SQLLEDGER_LEDGER_SCHEMA_CHANGES_H_
+#define SQLLEDGER_LEDGER_SCHEMA_CHANGES_H_
+
+#include "ledger/ledger_database.h"
+
+#endif  // SQLLEDGER_LEDGER_SCHEMA_CHANGES_H_

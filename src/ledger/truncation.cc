@@ -1,0 +1,120 @@
+#include "ledger/truncation.h"
+
+#include <set>
+
+#include "ledger/verifier.h"
+
+namespace sqlledger {
+
+Status TruncateLedger(LedgerDatabase* db, uint64_t below_block,
+                      const std::vector<DatabaseDigest>& digests) {
+  DatabaseLedger* ledger = db->database_ledger();
+  if (ledger == nullptr)
+    return Status::NotSupported("ledger is disabled for this database");
+  if (digests.empty())
+    return Status::InvalidArgument(
+        "truncation requires trusted digests for the pre-truncation "
+        "verification");
+  if (below_block >= ledger->open_block_id())
+    return Status::InvalidArgument("cannot truncate the open block or beyond");
+
+  // 1. Refuse to truncate a database that does not verify (§5.2: "first
+  // trigger the verification process to guarantee that any current data is
+  // consistent").
+  auto report = VerifyLedger(db, digests);
+  if (!report.ok()) return report.status();
+  if (!report->ok())
+    return Status::IntegrityViolation(
+        "pre-truncation verification failed: " + report->Summary());
+
+  SL_RETURN_IF_ERROR(ledger->DrainQueue());
+  auto range = ledger->CollectTxnsBelow(below_block);
+  if (!range.ok()) return range.status();
+  if (range->txn_ids.empty()) return Status::OK();  // nothing to truncate
+  std::set<uint64_t> truncated(range->txn_ids.begin(), range->txn_ids.end());
+
+  // 2. Dummy-update live rows still anchored in blocks being truncated so
+  // their digests move into fresh transactions.
+  for (CatalogEntry* entry : db->AllTables()) {
+    if (entry->kind == TableKind::kRegular) continue;
+    const Schema& schema = entry->main->schema();
+    std::vector<size_t> visible = schema.VisibleOrdinals();
+
+    std::vector<Row> anchored;
+    for (BTree::Iterator it = entry->main->Scan(); it.Valid(); it.Next()) {
+      const Value& start_txn = it.value()[entry->ref.start_txn_ord];
+      if (start_txn.is_null()) continue;
+      if (truncated.count(static_cast<uint64_t>(start_txn.AsInt64())))
+        anchored.push_back(it.value());
+    }
+    if (anchored.empty()) continue;
+
+    if (entry->kind == TableKind::kAppendOnly) {
+      if (entry->is_system) {
+        // Prior truncation-audit records cannot be re-homed (append-only);
+        // the verifier accepts their dangling references because they fall
+        // inside recorded truncation ranges.
+        continue;
+      }
+      return Status::NotSupported(
+          "append-only table '" + entry->name + "' still holds rows in the "
+          "truncated range; they cannot be dummy-updated");
+    }
+
+    auto txn = db->Begin("system:truncation");
+    if (!txn.ok()) return txn.status();
+    Status st = db->AcquireTableLock(*txn, *entry, LockMode::kExclusive);
+    for (const Row& physical : anchored) {
+      if (!st.ok()) break;
+      Row user_row;
+      user_row.reserve(visible.size());
+      for (size_t ord : visible) user_row.push_back(physical[ord]);
+      st = LedgerUpdate(*txn, entry->ref, user_row);
+    }
+    if (!st.ok()) {
+      db->Abort(*txn);
+      return st;
+    }
+    SL_RETURN_IF_ERROR(db->Commit(*txn));
+  }
+
+  // 3. Close the block holding the dummy updates so the re-homed data is
+  // immediately digest-coverable.
+  SL_RETURN_IF_ERROR(db->GenerateDigest().status());
+  SL_RETURN_IF_ERROR(ledger->DrainQueue());
+
+  // 4. Delete history rows retired by truncated transactions (historical
+  // data "is easy to truncate because no other data elements reference
+  // it"). The physical deletions bypass transactional locking, so the
+  // database is quiesced for steps 4-5.
+  {
+    LedgerDatabase::QuiesceGuard guard(db);
+    for (CatalogEntry* entry : db->AllTables()) {
+      if (entry->history == nullptr) continue;
+      std::vector<KeyTuple> doomed;
+      for (BTree::Iterator it = entry->history->Scan(); it.Valid();
+           it.Next()) {
+        const Value& end_txn = it.value()[entry->ref.end_txn_ord];
+        if (end_txn.is_null()) continue;
+        if (truncated.count(static_cast<uint64_t>(end_txn.AsInt64())))
+          doomed.push_back(it.key());
+      }
+      for (const KeyTuple& key : doomed)
+        SL_RETURN_IF_ERROR(entry->history->Delete(key));
+    }
+
+    // 5. Delete the truncated blocks and transaction entries.
+    SL_RETURN_IF_ERROR(ledger->TruncateBelow(below_block));
+  }
+
+  // 6. Audit the truncation through the ledger itself.
+  TruncationRecord record;
+  record.truncated_below_block = below_block;
+  record.min_txn_id = range->min_txn_id;
+  record.max_txn_id = range->max_txn_id;
+  SL_RETURN_IF_ERROR(db->RecordTruncation(record));
+
+  return db->Checkpoint();
+}
+
+}  // namespace sqlledger

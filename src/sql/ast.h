@@ -1,0 +1,135 @@
+// AST for the SQL dialect. Statements cover the application surface the
+// paper's system exposes: DDL (with ledger options), DML, transactions and
+// savepoints, plus ledger extensions (GENERATE DIGEST, VERIFY LEDGER,
+// SELECT ... FROM LEDGER_VIEW(t)).
+
+#ifndef SQLLEDGER_SQL_AST_H_
+#define SQLLEDGER_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "ledger/types.h"
+
+namespace sqlledger {
+
+/// A literal or column reference in an expression.
+struct SqlExpr {
+  enum class Kind { kLiteral, kColumn };
+  Kind kind = Kind::kLiteral;
+  Value literal;       // kLiteral
+  std::string column;  // kColumn
+};
+
+/// One conjunct of a WHERE clause: <column> <op> <literal>, or the unary
+/// forms <column> IS NULL / IS NOT NULL.
+struct SqlPredicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIsNull, kIsNotNull };
+  std::string column;
+  Op op = Op::kEq;
+  Value literal;  // unused for the IS NULL forms
+};
+
+/// An aggregate in a SELECT list: FN(column) or COUNT(*).
+struct SqlAggregate {
+  enum class Fn { kCount, kSum, kMin, kMax, kAvg };
+  Fn fn = Fn::kCount;
+  std::string column;  // empty for COUNT(*)
+  std::string DisplayName() const;
+};
+
+struct SqlColumnDef {
+  std::string name;
+  DataType type = DataType::kInt;
+  uint32_t max_length = 0;
+  bool nullable = true;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<SqlColumnDef> columns;
+  std::vector<std::string> primary_key;
+  TableKind kind = TableKind::kRegular;  // WITH (LEDGER = ON [, APPEND_ONLY = ON])
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct AlterTableStmt {
+  enum class Action { kAddColumn, kDropColumn, kAlterColumnType };
+  std::string table;
+  Action action = Action::kAddColumn;
+  SqlColumnDef column;  // name always set; type for add/alter
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Optional explicit column list; empty = all visible columns.
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;  // VALUES (...), (...)
+};
+
+struct SelectStmt {
+  std::vector<std::string> columns;  // {"*"} for star; empty if aggregates
+  std::vector<SqlAggregate> aggregates;  // aggregate query when non-empty
+  /// GROUP BY column; when set the select list must be that column first
+  /// followed by aggregates (one output row per group, group-ordered).
+  std::optional<std::string> group_by;
+  std::string table;
+  bool from_ledger_view = false;  // FROM LEDGER_VIEW(table)
+  std::vector<SqlPredicate> where;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<int64_t> limit;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  std::vector<SqlPredicate> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<SqlPredicate> where;
+};
+
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback, kSavepoint, kRollbackTo };
+  Kind kind = Kind::kBegin;
+  std::string savepoint;  // for kSavepoint / kRollbackTo
+};
+
+struct LedgerStmt {
+  enum class Kind { kGenerateDigest, kVerifyLedger };
+  Kind kind = Kind::kGenerateDigest;
+};
+
+/// A parsed statement (exactly one member is engaged).
+struct SqlStatement {
+  std::optional<CreateTableStmt> create_table;
+  std::optional<DropTableStmt> drop_table;
+  std::optional<AlterTableStmt> alter_table;
+  std::optional<CreateIndexStmt> create_index;
+  std::optional<InsertStmt> insert;
+  std::optional<SelectStmt> select;
+  std::optional<UpdateStmt> update;
+  std::optional<DeleteStmt> del;
+  std::optional<TxnStmt> txn;
+  std::optional<LedgerStmt> ledger;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_SQL_AST_H_

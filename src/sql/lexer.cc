@@ -1,0 +1,117 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace sqlledger {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto make_upper = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out) c = static_cast<char>(std::toupper(
+                            static_cast<unsigned char>(c)));
+    return out;
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') i++;
+      continue;
+    }
+    Token token;
+    token.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_'))
+        i++;
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(start, i - start);
+      token.upper = make_upper(token.text);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        i++;
+      }
+      token.text = sql.substr(start, i - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::strtod(token.text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        auto [p, ec] = std::from_chars(
+            token.text.data(), token.text.data() + token.text.size(),
+            token.int_value);
+        if (ec != std::errc())
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         token.text);
+      }
+    } else if (c == '\'') {
+      i++;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          i++;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed)
+        return Status::InvalidArgument("unterminated string literal");
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+          token.type = TokenType::kSymbol;
+          token.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "(),*=<>;.+-";
+        if (kSingles.find(c) == std::string::npos)
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at offset " +
+                                         std::to_string(i));
+        token.type = TokenType::kSymbol;
+        token.text = std::string(1, c);
+        i++;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,40 @@
+// SQL lexer for the engine's dialect: a practical subset of T-SQL plus
+// ledger extensions (CREATE TABLE ... WITH (LEDGER = ON), GENERATE DIGEST,
+// VERIFY LEDGER, LEDGER_VIEW(t)).
+
+#ifndef SQLLEDGER_SQL_LEXER_H_
+#define SQLLEDGER_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sqlledger {
+
+enum class TokenType {
+  kIdentifier,   // table / column names and unreserved keywords
+  kInteger,      // 123, -5 handled by parser sign
+  kFloat,        // 1.5
+  kString,       // 'text' with '' escaping
+  kSymbol,       // ( ) , * = < > <= >= <> != ; . + -
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // uppercased for identifiers? No: raw; see upper.
+  std::string upper;  // uppercase form for keyword matching
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes `sql`. Fails with InvalidArgument on unterminated strings or
+/// unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_SQL_LEXER_H_

@@ -1,0 +1,585 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace sqlledger {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlStatement> Parse() {
+    SqlStatement stmt;
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier)
+      return Error("expected a statement keyword");
+
+    Status st;
+    if (t.upper == "CREATE") {
+      if (PeekAhead(1).upper == "TABLE") {
+        st = ParseCreateTable(&stmt);
+      } else {
+        st = ParseCreateIndex(&stmt);
+      }
+    } else if (t.upper == "DROP") {
+      st = ParseDropTable(&stmt);
+    } else if (t.upper == "ALTER") {
+      st = ParseAlterTable(&stmt);
+    } else if (t.upper == "INSERT") {
+      st = ParseInsert(&stmt);
+    } else if (t.upper == "SELECT") {
+      st = ParseSelect(&stmt);
+    } else if (t.upper == "UPDATE") {
+      st = ParseUpdate(&stmt);
+    } else if (t.upper == "DELETE") {
+      st = ParseDelete(&stmt);
+    } else if (t.upper == "BEGIN" || t.upper == "COMMIT" ||
+               t.upper == "ROLLBACK" || t.upper == "SAVEPOINT") {
+      st = ParseTxn(&stmt);
+    } else if (t.upper == "GENERATE" || t.upper == "VERIFY") {
+      st = ParseLedger(&stmt);
+    } else {
+      return Error("unknown statement '" + t.text + "'");
+    }
+    if (!st.ok()) return st;
+    ConsumeSymbol(";");  // optional trailing semicolon
+    if (Peek().type != TokenType::kEnd)
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        "SQL parse error near offset " + std::to_string(Peek().position) +
+        ": " + message);
+  }
+
+  bool ConsumeKeyword(const std::string& upper) {
+    if (Peek().type == TokenType::kIdentifier && Peek().upper == upper) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& upper) {
+    if (!ConsumeKeyword(upper)) return Error("expected " + upper);
+    return Status::OK();
+  }
+  bool ConsumeSymbol(const std::string& symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!ConsumeSymbol(symbol)) return Error("expected '" + symbol + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier)
+      return Error("expected an identifier");
+    return Advance().text;
+  }
+
+  Result<DataType> ExpectType() {
+    if (Peek().type != TokenType::kIdentifier)
+      return Error("expected a data type");
+    std::string name = Advance().upper;
+    if (name == "BOOL" || name == "BOOLEAN" || name == "BIT")
+      return DataType::kBool;
+    if (name == "SMALLINT") return DataType::kSmallInt;
+    if (name == "INT" || name == "INTEGER") return DataType::kInt;
+    if (name == "BIGINT") return DataType::kBigInt;
+    if (name == "DOUBLE" || name == "FLOAT" || name == "REAL")
+      return DataType::kDouble;
+    if (name == "VARCHAR" || name == "TEXT") return DataType::kVarchar;
+    if (name == "VARBINARY" || name == "BLOB") return DataType::kVarbinary;
+    if (name == "TIMESTAMP" || name == "DATETIME") return DataType::kTimestamp;
+    return Error("unknown data type '" + name + "'");
+  }
+
+  /// Literal: integer (optionally negative), float, 'string', TRUE, FALSE,
+  /// NULL. Typed NULLs resolve against the column later; use kInt here.
+  Result<Value> ExpectLiteral() {
+    bool negative = false;
+    if (Peek().type == TokenType::kSymbol &&
+        (Peek().text == "-" || Peek().text == "+")) {
+      negative = Advance().text == "-";
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        int64_t v = Advance().int_value;
+        return Value::BigInt(negative ? -v : v);
+      }
+      case TokenType::kFloat: {
+        double v = Advance().float_value;
+        return Value::Double(negative ? -v : v);
+      }
+      case TokenType::kString:
+        if (negative) return Error("cannot negate a string literal");
+        return Value::Varchar(Advance().text);
+      case TokenType::kIdentifier:
+        if (negative) return Error("cannot negate this literal");
+        if (t.upper == "TRUE") {
+          Advance();
+          return Value::Bool(true);
+        }
+        if (t.upper == "FALSE") {
+          Advance();
+          return Value::Bool(false);
+        }
+        if (t.upper == "NULL") {
+          Advance();
+          return Value::Null(DataType::kInt);
+        }
+        return Error("expected a literal, got '" + t.text + "'");
+      default:
+        return Error("expected a literal");
+    }
+  }
+
+  Status ParseColumnDef(SqlColumnDef* col) {
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    col->name = *name;
+    auto type = ExpectType();
+    if (!type.ok()) return type.status();
+    col->type = *type;
+    if (ConsumeSymbol("(")) {
+      if (Peek().type != TokenType::kInteger)
+        return Error("expected a length");
+      col->max_length = static_cast<uint32_t>(Advance().int_value);
+      SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    if (ConsumeKeyword("NOT")) {
+      SL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      col->nullable = false;
+    } else {
+      ConsumeKeyword("NULL");
+    }
+    return Status::OK();
+  }
+
+  Status ParseCreateTable(SqlStatement* stmt) {
+    CreateTableStmt create;
+    Advance();  // CREATE
+    SL_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    create.table = *table;
+    SL_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      if (ConsumeKeyword("PRIMARY")) {
+        SL_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        SL_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          auto col = ExpectIdentifier();
+          if (!col.ok()) return col.status();
+          create.primary_key.push_back(*col);
+          if (!ConsumeSymbol(",")) break;
+        }
+        SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        SqlColumnDef col;
+        SL_RETURN_IF_ERROR(ParseColumnDef(&col));
+        create.columns.push_back(std::move(col));
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+    SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    if (ConsumeKeyword("WITH")) {
+      SL_RETURN_IF_ERROR(ExpectSymbol("("));
+      bool ledger = false, append_only = false;
+      while (true) {
+        auto option = ExpectIdentifier();
+        if (!option.ok()) return option.status();
+        SL_RETURN_IF_ERROR(ExpectSymbol("="));
+        auto value = ExpectIdentifier();
+        if (!value.ok()) return value.status();
+        std::string upper_opt = option->c_str();
+        for (char& c : upper_opt)
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        bool on = *value == "ON" || *value == "on" || *value == "On";
+        if (upper_opt == "LEDGER") {
+          ledger = on;
+        } else if (upper_opt == "APPEND_ONLY") {
+          append_only = on;
+        } else {
+          return Error("unknown table option '" + *option + "'");
+        }
+        if (!ConsumeSymbol(",")) break;
+      }
+      SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (ledger)
+        create.kind =
+            append_only ? TableKind::kAppendOnly : TableKind::kUpdateable;
+    }
+    stmt->create_table = std::move(create);
+    return Status::OK();
+  }
+
+  Status ParseDropTable(SqlStatement* stmt) {
+    Advance();  // DROP
+    SL_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    stmt->drop_table = DropTableStmt{*table};
+    return Status::OK();
+  }
+
+  Status ParseAlterTable(SqlStatement* stmt) {
+    AlterTableStmt alter;
+    Advance();  // ALTER
+    SL_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    alter.table = *table;
+    if (ConsumeKeyword("ADD")) {
+      ConsumeKeyword("COLUMN");
+      alter.action = AlterTableStmt::Action::kAddColumn;
+      SL_RETURN_IF_ERROR(ParseColumnDef(&alter.column));
+    } else if (ConsumeKeyword("DROP")) {
+      ConsumeKeyword("COLUMN");
+      alter.action = AlterTableStmt::Action::kDropColumn;
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      alter.column.name = *col;
+    } else if (ConsumeKeyword("ALTER")) {
+      ConsumeKeyword("COLUMN");
+      alter.action = AlterTableStmt::Action::kAlterColumnType;
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      alter.column.name = *col;
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      alter.column.type = *type;
+    } else {
+      return Error("expected ADD, DROP or ALTER COLUMN");
+    }
+    stmt->alter_table = std::move(alter);
+    return Status::OK();
+  }
+
+  Status ParseCreateIndex(SqlStatement* stmt) {
+    CreateIndexStmt create;
+    Advance();  // CREATE
+    if (ConsumeKeyword("UNIQUE")) create.unique = true;
+    SL_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    auto index = ExpectIdentifier();
+    if (!index.ok()) return index.status();
+    create.index = *index;
+    SL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    create.table = *table;
+    SL_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      create.columns.push_back(*col);
+      if (!ConsumeSymbol(",")) break;
+    }
+    SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt->create_index = std::move(create);
+    return Status::OK();
+  }
+
+  Status ParseInsert(SqlStatement* stmt) {
+    InsertStmt insert;
+    Advance();  // INSERT
+    SL_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    insert.table = *table;
+    if (ConsumeSymbol("(")) {
+      while (true) {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        insert.columns.push_back(*col);
+        if (!ConsumeSymbol(",")) break;
+      }
+      SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    SL_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      SL_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        auto literal = ExpectLiteral();
+        if (!literal.ok()) return literal.status();
+        row.push_back(std::move(*literal));
+        if (!ConsumeSymbol(",")) break;
+      }
+      SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      insert.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    stmt->insert = std::move(insert);
+    return Status::OK();
+  }
+
+  Status ParseWhere(std::vector<SqlPredicate>* where) {
+    if (!ConsumeKeyword("WHERE")) return Status::OK();
+    while (true) {
+      SqlPredicate pred;
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      pred.column = *col;
+      if (ConsumeKeyword("IS")) {
+        if (ConsumeKeyword("NOT")) {
+          pred.op = SqlPredicate::Op::kIsNotNull;
+        } else {
+          pred.op = SqlPredicate::Op::kIsNull;
+        }
+        SL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        where->push_back(std::move(pred));
+        if (!ConsumeKeyword("AND")) break;
+        continue;
+      }
+      if (Peek().type != TokenType::kSymbol)
+        return Error("expected a comparison operator");
+      std::string op = Advance().text;
+      if (op == "=") {
+        pred.op = SqlPredicate::Op::kEq;
+      } else if (op == "<>" || op == "!=") {
+        pred.op = SqlPredicate::Op::kNe;
+      } else if (op == "<") {
+        pred.op = SqlPredicate::Op::kLt;
+      } else if (op == "<=") {
+        pred.op = SqlPredicate::Op::kLe;
+      } else if (op == ">") {
+        pred.op = SqlPredicate::Op::kGt;
+      } else if (op == ">=") {
+        pred.op = SqlPredicate::Op::kGe;
+      } else {
+        return Error("unknown operator '" + op + "'");
+      }
+      auto literal = ExpectLiteral();
+      if (!literal.ok()) return literal.status();
+      pred.literal = std::move(*literal);
+      where->push_back(std::move(pred));
+      if (!ConsumeKeyword("AND")) break;
+    }
+    return Status::OK();
+  }
+
+  /// Parses FN(col) / COUNT(*) when the next tokens form an aggregate.
+  bool PeekAggregate() const {
+    if (Peek().type != TokenType::kIdentifier) return false;
+    const std::string& fn = Peek().upper;
+    if (fn != "COUNT" && fn != "SUM" && fn != "MIN" && fn != "MAX" &&
+        fn != "AVG")
+      return false;
+    return PeekAhead(1).type == TokenType::kSymbol &&
+           PeekAhead(1).text == "(";
+  }
+
+  Status ParseAggregate(SqlAggregate* agg) {
+    std::string fn = Advance().upper;
+    if (fn == "COUNT") agg->fn = SqlAggregate::Fn::kCount;
+    if (fn == "SUM") agg->fn = SqlAggregate::Fn::kSum;
+    if (fn == "MIN") agg->fn = SqlAggregate::Fn::kMin;
+    if (fn == "MAX") agg->fn = SqlAggregate::Fn::kMax;
+    if (fn == "AVG") agg->fn = SqlAggregate::Fn::kAvg;
+    SL_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (ConsumeSymbol("*")) {
+      if (agg->fn != SqlAggregate::Fn::kCount)
+        return Error("only COUNT accepts *");
+      agg->column.clear();
+    } else {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      agg->column = *col;
+    }
+    return ExpectSymbol(")");
+  }
+
+  Status ParseSelect(SqlStatement* stmt) {
+    SelectStmt select;
+    Advance();  // SELECT
+    if (ConsumeSymbol("*")) {
+      select.columns.push_back("*");
+    } else if (PeekAggregate()) {
+      while (true) {
+        SqlAggregate agg;
+        SL_RETURN_IF_ERROR(ParseAggregate(&agg));
+        select.aggregates.push_back(std::move(agg));
+        if (!ConsumeSymbol(",")) break;
+        if (!PeekAggregate())
+          return Error("cannot mix aggregates and plain columns");
+      }
+    } else {
+      // Plain columns — except a single leading column followed by
+      // aggregates, the GROUP BY form.
+      while (true) {
+        if (!select.columns.empty() && PeekAggregate()) {
+          if (select.columns.size() != 1)
+            return Error("GROUP BY form is <column>, <aggregates...>");
+          while (true) {
+            SqlAggregate agg;
+            SL_RETURN_IF_ERROR(ParseAggregate(&agg));
+            select.aggregates.push_back(std::move(agg));
+            if (!ConsumeSymbol(",")) break;
+            if (!PeekAggregate())
+              return Error("cannot mix aggregates and plain columns");
+          }
+          break;
+        }
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        select.columns.push_back(*col);
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    SL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().upper == "LEDGER_VIEW") {
+      Advance();
+      SL_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto table = ExpectIdentifier();
+      if (!table.ok()) return table.status();
+      select.table = *table;
+      select.from_ledger_view = true;
+      SL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      auto table = ExpectIdentifier();
+      if (!table.ok()) return table.status();
+      select.table = *table;
+    }
+    SL_RETURN_IF_ERROR(ParseWhere(&select.where));
+    if (ConsumeKeyword("GROUP")) {
+      SL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      select.group_by = *col;
+      if (select.aggregates.empty())
+        return Error("GROUP BY requires aggregates in the select list");
+      if (select.columns.size() != 1 || select.columns[0] != *col)
+        return Error(
+            "the select list must start with the GROUP BY column");
+    } else if (!select.aggregates.empty() && !select.columns.empty()) {
+      return Error("plain columns beside aggregates require GROUP BY");
+    }
+    if (ConsumeKeyword("ORDER")) {
+      SL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      select.order_by = *col;
+      if (ConsumeKeyword("DESC")) {
+        select.order_desc = true;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger)
+        return Error("expected an integer after LIMIT");
+      select.limit = Advance().int_value;
+    }
+    stmt->select = std::move(select);
+    return Status::OK();
+  }
+
+  Status ParseUpdate(SqlStatement* stmt) {
+    UpdateStmt update;
+    Advance();  // UPDATE
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    update.table = *table;
+    SL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      SL_RETURN_IF_ERROR(ExpectSymbol("="));
+      auto literal = ExpectLiteral();
+      if (!literal.ok()) return literal.status();
+      update.assignments.emplace_back(*col, std::move(*literal));
+      if (!ConsumeSymbol(",")) break;
+    }
+    SL_RETURN_IF_ERROR(ParseWhere(&update.where));
+    stmt->update = std::move(update);
+    return Status::OK();
+  }
+
+  Status ParseDelete(SqlStatement* stmt) {
+    DeleteStmt del;
+    Advance();  // DELETE
+    SL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    del.table = *table;
+    SL_RETURN_IF_ERROR(ParseWhere(&del.where));
+    stmt->del = std::move(del);
+    return Status::OK();
+  }
+
+  Status ParseTxn(SqlStatement* stmt) {
+    TxnStmt txn;
+    std::string keyword = Advance().upper;
+    if (keyword == "BEGIN") {
+      ConsumeKeyword("TRANSACTION");
+      txn.kind = TxnStmt::Kind::kBegin;
+    } else if (keyword == "COMMIT") {
+      ConsumeKeyword("TRANSACTION");
+      txn.kind = TxnStmt::Kind::kCommit;
+    } else if (keyword == "SAVEPOINT") {
+      auto name = ExpectIdentifier();
+      if (!name.ok()) return name.status();
+      txn.kind = TxnStmt::Kind::kSavepoint;
+      txn.savepoint = *name;
+    } else {  // ROLLBACK [TO SAVEPOINT name]
+      if (ConsumeKeyword("TO")) {
+        ConsumeKeyword("SAVEPOINT");
+        auto name = ExpectIdentifier();
+        if (!name.ok()) return name.status();
+        txn.kind = TxnStmt::Kind::kRollbackTo;
+        txn.savepoint = *name;
+      } else {
+        ConsumeKeyword("TRANSACTION");
+        txn.kind = TxnStmt::Kind::kRollback;
+      }
+    }
+    stmt->txn = std::move(txn);
+    return Status::OK();
+  }
+
+  Status ParseLedger(SqlStatement* stmt) {
+    LedgerStmt ledger;
+    std::string keyword = Advance().upper;
+    if (keyword == "GENERATE") {
+      SL_RETURN_IF_ERROR(ExpectKeyword("DIGEST"));
+      ledger.kind = LedgerStmt::Kind::kGenerateDigest;
+    } else {  // VERIFY LEDGER
+      SL_RETURN_IF_ERROR(ExpectKeyword("LEDGER"));
+      ledger.kind = LedgerStmt::Kind::kVerifyLedger;
+    }
+    stmt->ledger = std::move(ledger);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlStatement> ParseSql(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace sqlledger

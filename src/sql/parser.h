@@ -1,0 +1,36 @@
+// Recursive-descent parser for the SQL dialect. Grammar summary:
+//
+//   CREATE TABLE t (col TYPE [(len)] [NOT NULL|NULL], ...,
+//                   PRIMARY KEY (col, ...))
+//                  [WITH (LEDGER = ON [, APPEND_ONLY = ON])]
+//   DROP TABLE t
+//   ALTER TABLE t ADD COLUMN col TYPE [(len)]
+//   ALTER TABLE t DROP COLUMN col
+//   ALTER TABLE t ALTER COLUMN col TYPE
+//   CREATE [UNIQUE] INDEX i ON t (col, ...)
+//   INSERT INTO t [(col, ...)] VALUES (lit, ...), ...
+//   SELECT */col,... FROM t | LEDGER_VIEW(t)
+//          [WHERE col op lit [AND ...]] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   UPDATE t SET col = lit, ... [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   BEGIN | COMMIT | ROLLBACK | SAVEPOINT name | ROLLBACK TO SAVEPOINT name
+//   GENERATE DIGEST | VERIFY LEDGER
+//
+// Literals: integers, floats, 'strings', TRUE/FALSE, NULL.
+
+#ifndef SQLLEDGER_SQL_PARSER_H_
+#define SQLLEDGER_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace sqlledger {
+
+/// Parses a single statement (a trailing ';' is allowed).
+Result<SqlStatement> ParseSql(const std::string& sql);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_SQL_PARSER_H_

@@ -1,0 +1,341 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqlledger {
+
+struct BTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTree::LeafNode : BTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<KeyTuple> keys;
+  std::vector<Row> values;
+  LeafNode* prev = nullptr;
+  LeafNode* next = nullptr;
+};
+
+struct BTree::InternalNode : BTree::Node {
+  InternalNode() : Node(false) {}
+  // children.size() == keys.size() + 1. keys[i] separates children[i]
+  // (strictly less) from children[i+1] (greater or equal).
+  std::vector<KeyTuple> keys;
+  std::vector<Node*> children;
+};
+
+namespace {
+/// Index of the first element in `keys` >= `key`.
+size_t LowerBound(const std::vector<KeyTuple>& keys, const KeyTuple& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CompareKeys(keys[mid], key) < 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Index of the first element in `keys` > `key` (child index for descent).
+size_t UpperBound(const std::vector<KeyTuple>& keys, const KeyTuple& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CompareKeys(keys[mid], key) <= 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+}  // namespace
+
+BTree::BTree(size_t fanout)
+    : fanout_(fanout < 4 ? 4 : fanout), root_(new LeafNode()), size_(0),
+      height_(1) {}
+
+BTree::~BTree() { FreeNode(root_); }
+
+void BTree::FreeNode(Node* node) {
+  if (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    for (Node* child : in->children) FreeNode(child);
+  }
+  if (node->is_leaf)
+    delete static_cast<LeafNode*>(node);
+  else
+    delete static_cast<InternalNode*>(node);
+}
+
+void BTree::Clear() {
+  FreeNode(root_);
+  root_ = new LeafNode();
+  size_ = 0;
+  height_ = 1;
+}
+
+BTree::LeafNode* BTree::DescendWithPath(
+    const KeyTuple& key, std::vector<InternalNode*>* path) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    if (path) path->push_back(in);
+    node = in->children[UpperBound(in->keys, key)];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+BTree::LeafNode* BTree::FindLeaf(const KeyTuple& key) const {
+  return DescendWithPath(key, nullptr);
+}
+
+const Row* BTree::Get(const KeyTuple& key) const {
+  LeafNode* leaf = FindLeaf(key);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CompareKeys(leaf->keys[pos], key) == 0)
+    return &leaf->values[pos];
+  return nullptr;
+}
+
+Row* BTree::MutableGet(const KeyTuple& key) {
+  LeafNode* leaf = FindLeaf(key);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CompareKeys(leaf->keys[pos], key) == 0)
+    return &leaf->values[pos];
+  return nullptr;
+}
+
+Status BTree::Insert(const KeyTuple& key, Row value) {
+  std::vector<InternalNode*> path;
+  LeafNode* leaf = DescendWithPath(key, &path);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CompareKeys(leaf->keys[pos], key) == 0)
+    return Status::AlreadyExists("duplicate key");
+  leaf->keys.insert(leaf->keys.begin() + pos, key);
+  leaf->values.insert(leaf->values.begin() + pos, std::move(value));
+  size_++;
+  if (leaf->keys.size() > fanout_) SplitLeaf(leaf, &path);
+  return Status::OK();
+}
+
+void BTree::Upsert(const KeyTuple& key, Row value) {
+  std::vector<InternalNode*> path;
+  LeafNode* leaf = DescendWithPath(key, &path);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CompareKeys(leaf->keys[pos], key) == 0) {
+    leaf->values[pos] = std::move(value);
+    return;
+  }
+  leaf->keys.insert(leaf->keys.begin() + pos, key);
+  leaf->values.insert(leaf->values.begin() + pos, std::move(value));
+  size_++;
+  if (leaf->keys.size() > fanout_) SplitLeaf(leaf, &path);
+}
+
+Status BTree::Update(const KeyTuple& key, Row value) {
+  LeafNode* leaf = FindLeaf(key);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos >= leaf->keys.size() || CompareKeys(leaf->keys[pos], key) != 0)
+    return Status::NotFound("key not found");
+  leaf->values[pos] = std::move(value);
+  return Status::OK();
+}
+
+void BTree::SplitLeaf(LeafNode* leaf, std::vector<InternalNode*>* path) {
+  auto* right = new LeafNode();
+  size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                     std::make_move_iterator(leaf->keys.end()));
+  right->values.assign(std::make_move_iterator(leaf->values.begin() + mid),
+                       std::make_move_iterator(leaf->values.end()));
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+
+  right->next = leaf->next;
+  right->prev = leaf;
+  if (leaf->next) leaf->next->prev = right;
+  leaf->next = right;
+
+  KeyTuple separator = right->keys.front();
+  if (path->empty()) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(std::move(separator));
+    new_root->children.push_back(leaf);
+    new_root->children.push_back(right);
+    root_ = new_root;
+    height_++;
+    return;
+  }
+  InternalNode* parent = path->back();
+  path->pop_back();
+  size_t pos = UpperBound(parent->keys, separator);
+  parent->keys.insert(parent->keys.begin() + pos, std::move(separator));
+  parent->children.insert(parent->children.begin() + pos + 1, right);
+  if (parent->keys.size() > fanout_) SplitInternal(parent, path);
+}
+
+void BTree::SplitInternal(InternalNode* node,
+                          std::vector<InternalNode*>* path) {
+  auto* right = new InternalNode();
+  size_t mid = node->keys.size() / 2;
+  KeyTuple separator = node->keys[mid];  // moves up, not into right
+
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(node->children.begin() + mid + 1,
+                         node->children.end());
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+
+  if (path->empty()) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(std::move(separator));
+    new_root->children.push_back(node);
+    new_root->children.push_back(right);
+    root_ = new_root;
+    height_++;
+    return;
+  }
+  InternalNode* parent = path->back();
+  path->pop_back();
+  size_t pos = UpperBound(parent->keys, separator);
+  parent->keys.insert(parent->keys.begin() + pos, std::move(separator));
+  parent->children.insert(parent->children.begin() + pos + 1, right);
+  if (parent->keys.size() > fanout_) SplitInternal(parent, path);
+}
+
+Status BTree::Delete(const KeyTuple& key) {
+  std::vector<InternalNode*> path;
+  LeafNode* leaf = DescendWithPath(key, &path);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos >= leaf->keys.size() || CompareKeys(leaf->keys[pos], key) != 0)
+    return Status::NotFound("key not found");
+  leaf->keys.erase(leaf->keys.begin() + pos);
+  leaf->values.erase(leaf->values.begin() + pos);
+  size_--;
+  if (leaf->keys.empty() && leaf != root_) RemoveEmptyLeaf(leaf, &path);
+  return Status::OK();
+}
+
+void BTree::RemoveEmptyLeaf(LeafNode* leaf, std::vector<InternalNode*>* path) {
+  // Unlink from the leaf chain.
+  if (leaf->prev) leaf->prev->next = leaf->next;
+  if (leaf->next) leaf->next->prev = leaf->prev;
+
+  // Remove the child pointer (and its separator) from the parent chain,
+  // collapsing now-childless ancestors.
+  Node* child = leaf;
+  while (!path->empty()) {
+    InternalNode* parent = path->back();
+    path->pop_back();
+    size_t ci = 0;
+    while (ci < parent->children.size() && parent->children[ci] != child) ci++;
+    assert(ci < parent->children.size());
+    parent->children.erase(parent->children.begin() + ci);
+    if (!parent->keys.empty())
+      parent->keys.erase(parent->keys.begin() + (ci == 0 ? 0 : ci - 1));
+    if (child->is_leaf)
+      delete static_cast<LeafNode*>(child);
+    else
+      delete static_cast<InternalNode*>(child);
+    if (!parent->children.empty()) {
+      // If the (non-root) parent is left with a single child, collapse it
+      // into the grandparent to keep the tree slim.
+      if (parent->children.size() == 1 && parent != root_) {
+        InternalNode* grand = path->back();
+        size_t gi = 0;
+        while (gi < grand->children.size() && grand->children[gi] != parent)
+          gi++;
+        assert(gi < grand->children.size());
+        grand->children[gi] = parent->children[0];
+        parent->children.clear();
+        delete parent;
+        return;
+      }
+      if (parent == root_ && parent->children.size() == 1) {
+        root_ = parent->children[0];
+        height_--;
+        parent->children.clear();
+        delete parent;
+      }
+      return;
+    }
+    child = parent;  // parent became empty; remove it from its own parent
+  }
+  // The whole tree emptied out: reset to a single empty leaf root.
+  root_ = new LeafNode();
+  height_ = 1;
+}
+
+bool BTree::Iterator::Valid() const {
+  return ref_.leaf != nullptr &&
+         ref_.pos < static_cast<const LeafNode*>(ref_.leaf)->keys.size();
+}
+
+void BTree::Iterator::Next() {
+  const auto* leaf = static_cast<const LeafNode*>(ref_.leaf);
+  ref_.pos++;
+  while (leaf != nullptr && ref_.pos >= leaf->keys.size()) {
+    leaf = leaf->next;
+    ref_.pos = 0;
+  }
+  ref_.leaf = leaf;
+}
+
+const KeyTuple& BTree::Iterator::key() const {
+  return static_cast<const LeafNode*>(ref_.leaf)->keys[ref_.pos];
+}
+
+const Row& BTree::Iterator::value() const {
+  return static_cast<const LeafNode*>(ref_.leaf)->values[ref_.pos];
+}
+
+BTree::Iterator BTree::Begin() const {
+  const Node* node = root_;
+  while (!node->is_leaf)
+    node = static_cast<const InternalNode*>(node)->children.front();
+  Iterator it;
+  it.ref_.leaf = node;
+  it.ref_.pos = 0;
+  // Skip an empty root leaf.
+  if (static_cast<const LeafNode*>(node)->keys.empty()) it.ref_.leaf = nullptr;
+  return it;
+}
+
+BTree::Iterator BTree::Seek(const KeyTuple& key) const {
+  LeafNode* leaf = FindLeaf(key);
+  size_t pos = LowerBound(leaf->keys, key);
+  Iterator it;
+  it.ref_.leaf = leaf;
+  it.ref_.pos = pos;
+  const LeafNode* l = leaf;
+  while (l != nullptr && it.ref_.pos >= l->keys.size()) {
+    l = l->next;
+    it.ref_.pos = 0;
+  }
+  it.ref_.leaf = l;
+  return it;
+}
+
+Status BTree::CheckInvariants() const {
+  // Walk the leaf chain: keys strictly increasing, count matches size_.
+  size_t count = 0;
+  const KeyTuple* prev = nullptr;
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (prev != nullptr && CompareKeys(*prev, it.key()) >= 0)
+      return Status::Corruption("keys out of order in leaf chain");
+    prev = &it.key();
+    count++;
+  }
+  if (count != size_)
+    return Status::Corruption("size mismatch: counted " +
+                              std::to_string(count) + ", recorded " +
+                              std::to_string(size_));
+  return Status::OK();
+}
+
+}  // namespace sqlledger

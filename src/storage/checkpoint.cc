@@ -1,0 +1,215 @@
+#include "storage/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "catalog/row.h"
+#include "util/coding.h"
+
+namespace sqlledger {
+
+namespace {
+constexpr char kMagic[] = "SLCKPT01";
+constexpr size_t kMagicLen = 8;
+}  // namespace
+
+void EncodeSchema(const Schema& schema, std::vector<uint8_t>* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    PutVarint32(dst, col.column_id);
+    PutLengthPrefixed(dst, Slice(col.name));
+    dst->push_back(static_cast<uint8_t>(col.type));
+    dst->push_back(col.nullable ? 1 : 0);
+    PutVarint32(dst, col.max_length);
+    dst->push_back(col.hidden ? 1 : 0);
+    dst->push_back(col.dropped ? 1 : 0);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(schema.key_ordinals().size()));
+  for (size_t ord : schema.key_ordinals())
+    PutVarint32(dst, static_cast<uint32_t>(ord));
+  PutVarint32(dst, schema.next_column_id());
+}
+
+Result<Schema> DecodeSchema(Decoder* dec) {
+  Schema schema;
+  auto num_cols = dec->GetVarint32();
+  if (!num_cols.ok()) return num_cols.status();
+  for (uint32_t i = 0; i < *num_cols; i++) {
+    auto id = dec->GetVarint32();
+    if (!id.ok()) return id.status();
+    auto name = dec->GetLengthPrefixed();
+    if (!name.ok()) return name.status();
+    auto type_b = dec->GetBytes(1);
+    if (!type_b.ok()) return type_b.status();
+    auto nullable_b = dec->GetBytes(1);
+    if (!nullable_b.ok()) return nullable_b.status();
+    auto max_len = dec->GetVarint32();
+    if (!max_len.ok()) return max_len.status();
+    auto hidden_b = dec->GetBytes(1);
+    if (!hidden_b.ok()) return hidden_b.status();
+    auto dropped_b = dec->GetBytes(1);
+    if (!dropped_b.ok()) return dropped_b.status();
+
+    size_t ord = schema.AddColumn(name->ToString(),
+                                  static_cast<DataType>((*type_b)[0]),
+                                  (*nullable_b)[0] != 0, *max_len,
+                                  (*hidden_b)[0] != 0);
+    ColumnDef* col = schema.mutable_column(ord);
+    col->column_id = *id;
+    col->dropped = (*dropped_b)[0] != 0;
+  }
+  auto num_key = dec->GetVarint32();
+  if (!num_key.ok()) return num_key.status();
+  std::vector<size_t> key_ordinals;
+  for (uint32_t i = 0; i < *num_key; i++) {
+    auto ord = dec->GetVarint32();
+    if (!ord.ok()) return ord.status();
+    key_ordinals.push_back(*ord);
+  }
+  schema.SetPrimaryKey(std::move(key_ordinals));
+  auto next_id = dec->GetVarint32();
+  if (!next_id.ok()) return next_id.status();
+  schema.set_next_column_id(*next_id);
+  return schema;
+}
+
+Status WriteCheckpoint(const std::string& path, Slice meta,
+                       const std::vector<const TableStore*>& tables) {
+  std::vector<uint8_t> payload;
+  PutLengthPrefixed(&payload, meta);
+  PutVarint32(&payload, static_cast<uint32_t>(tables.size()));
+  for (const TableStore* table : tables) {
+    PutVarint32(&payload, table->table_id());
+    PutLengthPrefixed(&payload, Slice(table->name()));
+    EncodeSchema(table->schema(), &payload);
+    PutVarint32(&payload, static_cast<uint32_t>(table->indexes().size()));
+    for (const auto& idx : table->indexes()) {
+      PutLengthPrefixed(&payload, Slice(idx->name));
+      PutVarint32(&payload, static_cast<uint32_t>(idx->ordinals.size()));
+      for (size_t ord : idx->ordinals)
+        PutVarint32(&payload, static_cast<uint32_t>(ord));
+      payload.push_back(idx->unique ? 1 : 0);
+    }
+    PutVarint64(&payload, table->row_count());
+    for (BTree::Iterator it = table->Scan(); it.Valid(); it.Next()) {
+      EncodeRow(it.value(), &payload);
+    }
+  }
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IOError("cannot create checkpoint temp file: " + tmp);
+
+  std::vector<uint8_t> header;
+  header.insert(header.end(), kMagic, kMagic + kMagicLen);
+  PutFixed64(&header, payload.size());
+  PutFixed32(&header, Crc32c(Slice(payload)));
+  bool write_ok =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("checkpoint write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IOError("checkpoint rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no checkpoint at " + path);
+
+  uint8_t header[kMagicLen + 12];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return Status::Corruption("checkpoint header truncated");
+  }
+  if (std::memcmp(header, kMagic, kMagicLen) != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad checkpoint magic");
+  }
+  uint64_t len = 0;
+  for (int i = 0; i < 8; i++)
+    len |= static_cast<uint64_t>(header[kMagicLen + i]) << (8 * i);
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; i++)
+    crc |= static_cast<uint32_t>(header[kMagicLen + 8 + i]) << (8 * i);
+
+  std::vector<uint8_t> payload(len);
+  if (std::fread(payload.data(), 1, len, f) != len) {
+    std::fclose(f);
+    return Status::Corruption("checkpoint payload truncated");
+  }
+  std::fclose(f);
+  if (Crc32c(Slice(payload)) != crc)
+    return Status::Corruption("checkpoint CRC mismatch");
+
+  Decoder dec{Slice(payload)};
+  CheckpointData out;
+  auto meta = dec.GetLengthPrefixed();
+  if (!meta.ok()) return meta.status();
+  out.meta = meta->ToVector();
+
+  auto num_tables = dec.GetVarint32();
+  if (!num_tables.ok()) return num_tables.status();
+  for (uint32_t t = 0; t < *num_tables; t++) {
+    auto table_id = dec.GetVarint32();
+    if (!table_id.ok()) return table_id.status();
+    auto name = dec.GetLengthPrefixed();
+    if (!name.ok()) return name.status();
+    auto schema = DecodeSchema(&dec);
+    if (!schema.ok()) return schema.status();
+
+    auto table = std::make_unique<TableStore>(*table_id, name->ToString(),
+                                              std::move(*schema));
+
+    auto num_indexes = dec.GetVarint32();
+    if (!num_indexes.ok()) return num_indexes.status();
+    struct IndexDef {
+      std::string name;
+      std::vector<size_t> ordinals;
+      bool unique;
+    };
+    std::vector<IndexDef> index_defs;
+    for (uint32_t i = 0; i < *num_indexes; i++) {
+      auto idx_name = dec.GetLengthPrefixed();
+      if (!idx_name.ok()) return idx_name.status();
+      auto num_ords = dec.GetVarint32();
+      if (!num_ords.ok()) return num_ords.status();
+      IndexDef def;
+      def.name = idx_name->ToString();
+      for (uint32_t k = 0; k < *num_ords; k++) {
+        auto ord = dec.GetVarint32();
+        if (!ord.ok()) return ord.status();
+        def.ordinals.push_back(*ord);
+      }
+      auto unique_b = dec.GetBytes(1);
+      if (!unique_b.ok()) return unique_b.status();
+      def.unique = (*unique_b)[0] != 0;
+      index_defs.push_back(std::move(def));
+    }
+
+    auto row_count = dec.GetVarint64();
+    if (!row_count.ok()) return row_count.status();
+    for (uint64_t r = 0; r < *row_count; r++) {
+      auto row = DecodeRow(&dec);
+      if (!row.ok()) return row.status();
+      SL_RETURN_IF_ERROR(table->Insert(*row));
+    }
+    // Rebuild secondary indexes after rows are loaded so unique checks see
+    // the final data.
+    for (const IndexDef& def : index_defs) {
+      SL_RETURN_IF_ERROR(table->CreateIndex(def.name, def.ordinals, def.unique));
+    }
+    out.tables.push_back(std::move(table));
+  }
+  if (!dec.done()) return Status::Corruption("trailing bytes in checkpoint");
+  return out;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,41 @@
+// Checkpointing: an atomically-written snapshot of all table stores plus an
+// opaque metadata blob (catalog + ledger state serialized by the layer
+// above). After a successful checkpoint the WAL is reset; recovery loads
+// the latest checkpoint and replays the WAL tail (paper §3.3.2).
+
+#ifndef SQLLEDGER_STORAGE_CHECKPOINT_H_
+#define SQLLEDGER_STORAGE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table_store.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace sqlledger {
+
+/// Everything a checkpoint holds.
+struct CheckpointData {
+  std::vector<uint8_t> meta;  // opaque blob owned by the caller's layer
+  std::vector<std::unique_ptr<TableStore>> tables;
+};
+
+/// Serializes `meta` and `tables` to `path` via write-temp-then-rename, so a
+/// crash mid-checkpoint leaves the previous checkpoint intact. The entire
+/// payload is CRC-protected.
+Status WriteCheckpoint(const std::string& path, Slice meta,
+                       const std::vector<const TableStore*>& tables);
+
+/// Loads a checkpoint. NotFound if the file does not exist; Corruption on
+/// CRC or format errors.
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+/// Schema wire helpers (shared with tests).
+void EncodeSchema(const Schema& schema, std::vector<uint8_t>* dst);
+Result<Schema> DecodeSchema(class Decoder* dec);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_STORAGE_CHECKPOINT_H_

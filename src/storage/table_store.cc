@@ -1,0 +1,171 @@
+#include "storage/table_store.h"
+
+#include <mutex>
+
+namespace sqlledger {
+
+TableStore::TableStore(uint32_t table_id, std::string name, Schema schema)
+    : table_id_(table_id), name_(std::move(name)), schema_(std::move(schema)),
+      clustered_(64) {}
+
+KeyTuple TableStore::IndexKeyOf(const SecondaryIndex& idx,
+                                const Row& row) const {
+  KeyTuple key = Schema::ExtractColumns(row, idx.ordinals);
+  // Append the primary key so non-unique index entries stay distinct.
+  KeyTuple pk = schema_.ExtractKey(row);
+  key.insert(key.end(), pk.begin(), pk.end());
+  return key;
+}
+
+Status TableStore::Insert(const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  SL_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  KeyTuple pk = schema_.ExtractKey(row);
+  if (clustered_.Contains(pk))
+    return Status::AlreadyExists("duplicate primary key in table '" + name_ +
+                                 "'");
+  // Check unique indexes before mutating anything.
+  for (const auto& idx : indexes_) {
+    if (!idx->unique) continue;
+    KeyTuple prefix = Schema::ExtractColumns(row, idx->ordinals);
+    BTree::Iterator it = idx->tree.Seek(prefix);
+    if (it.Valid()) {
+      KeyTuple existing_prefix(it.key().begin(),
+                               it.key().begin() + idx->ordinals.size());
+      if (CompareKeys(existing_prefix, prefix) == 0)
+        return Status::AlreadyExists("unique index violation on '" +
+                                     idx->name + "'");
+    }
+  }
+  for (const auto& idx : indexes_) {
+    Row pk_row(pk.begin(), pk.end());
+    idx->tree.Upsert(IndexKeyOf(*idx, row), std::move(pk_row));
+  }
+  return clustered_.Insert(pk, row);
+}
+
+Status TableStore::Update(const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  SL_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  KeyTuple pk = schema_.ExtractKey(row);
+  const Row* old_row = clustered_.Get(pk);
+  if (old_row == nullptr)
+    return Status::NotFound("row not found in table '" + name_ + "'");
+  for (const auto& idx : indexes_) {
+    KeyTuple old_key = IndexKeyOf(*idx, *old_row);
+    KeyTuple new_key = IndexKeyOf(*idx, row);
+    if (CompareKeys(old_key, new_key) != 0) {
+      idx->tree.Delete(old_key);
+      Row pk_row(pk.begin(), pk.end());
+      idx->tree.Upsert(std::move(new_key), std::move(pk_row));
+    }
+  }
+  return clustered_.Update(pk, row);
+}
+
+Status TableStore::Delete(const KeyTuple& key) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  const Row* old_row = clustered_.Get(key);
+  if (old_row == nullptr)
+    return Status::NotFound("row not found in table '" + name_ + "'");
+  for (const auto& idx : indexes_) {
+    idx->tree.Delete(IndexKeyOf(*idx, *old_row));
+  }
+  return clustered_.Delete(key);
+}
+
+const Row* TableStore::Get(const KeyTuple& key) const {
+  return clustered_.Get(key);
+}
+
+std::optional<Row> TableStore::GetCopy(const KeyTuple& key) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  const Row* row = clustered_.Get(key);
+  if (row == nullptr) return std::nullopt;
+  return *row;
+}
+
+std::optional<Row> TableStore::SeekFirstCopy(const KeyTuple& prefix) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  BTree::Iterator it = clustered_.Seek(prefix);
+  if (!it.Valid() || it.key().size() < prefix.size()) return std::nullopt;
+  for (size_t i = 0; i < prefix.size(); i++) {
+    if (it.key()[i].Compare(prefix[i]) != 0) return std::nullopt;
+  }
+  return it.value();
+}
+
+void TableStore::ExtendRows(const Value& value) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  std::vector<KeyTuple> keys;
+  keys.reserve(clustered_.size());
+  for (BTree::Iterator it = clustered_.Begin(); it.Valid(); it.Next())
+    keys.push_back(it.key());
+  for (const KeyTuple& key : keys) {
+    Row* row = clustered_.MutableGet(key);
+    if (row != nullptr) row->push_back(value);
+  }
+}
+
+Status TableStore::CreateIndex(const std::string& index_name,
+                               const std::vector<size_t>& ordinals,
+                               bool unique) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  if (FindIndexLocked(index_name) != nullptr)
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  for (size_t ord : ordinals) {
+    if (ord >= schema_.num_columns())
+      return Status::InvalidArgument("index column ordinal out of range");
+  }
+  auto idx = std::make_unique<SecondaryIndex>();
+  idx->name = index_name;
+  idx->ordinals = ordinals;
+  idx->unique = unique;
+  // Build from existing rows.
+  for (BTree::Iterator it = clustered_.Begin(); it.Valid(); it.Next()) {
+    Row pk_row(it.key().begin(), it.key().end());
+    idx->tree.Upsert(IndexKeyOf(*idx, it.value()), std::move(pk_row));
+  }
+  if (unique) {
+    // Stored keys carry the primary key as a suffix, so duplicates of the
+    // indexed columns appear as adjacent entries sharing the prefix.
+    const KeyTuple* prev = nullptr;
+    for (BTree::Iterator it = idx->tree.Begin(); it.Valid(); it.Next()) {
+      if (prev != nullptr) {
+        KeyTuple a(prev->begin(), prev->begin() + ordinals.size());
+        KeyTuple b(it.key().begin(), it.key().begin() + ordinals.size());
+        if (CompareKeys(a, b) == 0)
+          return Status::InvalidArgument(
+              "cannot create unique index: duplicate values present");
+      }
+      prev = &it.key();
+    }
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status TableStore::DropIndex(const std::string& index_name) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  for (size_t i = 0; i < indexes_.size(); i++) {
+    if (indexes_[i]->name == index_name) {
+      indexes_.erase(indexes_.begin() + i);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("index '" + index_name + "' not found");
+}
+
+SecondaryIndex* TableStore::FindIndex(const std::string& index_name) {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  return FindIndexLocked(index_name);
+}
+
+SecondaryIndex* TableStore::FindIndexLocked(const std::string& index_name) {
+  for (const auto& idx : indexes_) {
+    if (idx->name == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace sqlledger

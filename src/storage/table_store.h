@@ -1,0 +1,121 @@
+// TableStore: the physical representation of one table — a clustered
+// B+-tree (primary key -> full row) plus any non-clustered indexes
+// (index key + primary key -> primary key). Non-clustered indexes duplicate
+// base-table data and can be tampered with independently, which is why the
+// ledger verifier checks them against the base table (paper §3.4.1
+// invariant 5).
+//
+// Thread safety: the mutating operations and the *Copy readers latch a
+// per-table reader/writer latch internally, so point reads and writes of
+// different rows may run concurrently under row-level transaction locks.
+// The iterator-returning Scan/Seek and pointer-returning Get are unlatched:
+// callers must exclude writers for their duration (a table-level S lock, a
+// database quiesce, or single-threaded context).
+
+#ifndef SQLLEDGER_STORAGE_TABLE_STORE_H_
+#define SQLLEDGER_STORAGE_TABLE_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/btree.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+/// A non-clustered index over a subset of columns. The stored key is the
+/// index columns followed by the primary-key columns, which both makes
+/// non-unique indexes representable and gives deterministic iteration
+/// order for verification.
+struct SecondaryIndex {
+  std::string name;
+  std::vector<size_t> ordinals;  // indexed column ordinals
+  bool unique = false;
+  BTree tree;
+
+  SecondaryIndex() : tree(64) {}
+};
+
+class TableStore {
+ public:
+  TableStore(uint32_t table_id, std::string name, Schema schema);
+
+  uint32_t table_id() const { return table_id_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t row_count() const { return clustered_.size(); }
+
+  // ---- Row operations. Rows are full physical rows (hidden columns
+  // included); all secondary indexes are maintained. ----
+
+  /// Fails with AlreadyExists on primary-key duplicates or unique-index
+  /// violations (no partial effects in that case).
+  Status Insert(const Row& row);
+  /// Replaces the row whose primary key matches `row`'s key columns.
+  Status Update(const Row& row);
+  /// Removes the row with the given primary key; NotFound if absent.
+  Status Delete(const KeyTuple& key);
+
+  /// Point lookup by primary key; pointer valid until next mutation.
+  /// Unlatched — see the class comment.
+  const Row* Get(const KeyTuple& key) const;
+
+  /// Latched point lookup returning a copy; safe under concurrent writers
+  /// of other rows.
+  std::optional<Row> GetCopy(const KeyTuple& key) const;
+
+  /// Latched prefix seek returning a copy of the first row whose clustered
+  /// key starts with `prefix`.
+  std::optional<Row> SeekFirstCopy(const KeyTuple& prefix) const;
+
+  /// Ordered scan over the clustered index. Unlatched — see class comment.
+  BTree::Iterator Scan() const { return clustered_.Begin(); }
+  BTree::Iterator Seek(const KeyTuple& key) const {
+    return clustered_.Seek(key);
+  }
+
+  // ---- Index management (physical schema changes, paper §3.5). ----
+
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<size_t>& ordinals, bool unique);
+  Status DropIndex(const std::string& index_name);
+  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const {
+    return indexes_;
+  }
+  SecondaryIndex* FindIndex(const std::string& index_name);
+
+  /// Appends `value` as a new trailing cell of every physical row. Used by
+  /// ADD COLUMN (paper §3.5.1): the schema must already list the new
+  /// column. Keys and secondary indexes are unaffected.
+  void ExtendRows(const Value& value);
+
+  /// Used only by tamper-simulation tests and benches: mutate index/base
+  /// rows directly, bypassing all maintenance (the storage-level attacker
+  /// of the paper's threat model §2.5.2).
+  BTree* mutable_clustered() { return &clustered_; }
+
+  KeyTuple KeyOf(const Row& row) const { return schema_.ExtractKey(row); }
+
+ private:
+  KeyTuple IndexKeyOf(const SecondaryIndex& idx, const Row& row) const;
+  SecondaryIndex* FindIndexLocked(const std::string& index_name);
+
+  uint32_t table_id_;
+  std::string name_;
+  Schema schema_;
+  mutable std::shared_mutex latch_;  // physical consistency, not isolation
+  BTree clustered_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_STORAGE_TABLE_STORE_H_

@@ -1,0 +1,175 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "catalog/row.h"
+#include "util/coding.h"
+
+namespace sqlledger {
+
+void WalCommitRecord::EncodeTo(std::vector<uint8_t>* dst) const {
+  PutVarint64(dst, txn_id);
+  PutFixed64(dst, static_cast<uint64_t>(commit_ts_micros));
+  PutLengthPrefixed(dst, Slice(user_name));
+  PutVarint64(dst, block_id);
+  PutVarint64(dst, block_ordinal);
+  PutVarint32(dst, static_cast<uint32_t>(table_roots.size()));
+  for (const auto& [table_id, root] : table_roots) {
+    PutVarint32(dst, table_id);
+    dst->insert(dst->end(), root.bytes.begin(), root.bytes.end());
+  }
+  PutVarint32(dst, static_cast<uint32_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    dst->push_back(static_cast<uint8_t>(op.type));
+    PutVarint32(dst, op.table_id);
+    EncodeRow(op.key, dst);
+    EncodeRow(op.new_row, dst);
+  }
+}
+
+Result<WalCommitRecord> WalCommitRecord::Decode(Slice payload) {
+  Decoder dec(payload);
+  WalCommitRecord rec;
+
+  auto txn_id = dec.GetVarint64();
+  if (!txn_id.ok()) return txn_id.status();
+  rec.txn_id = *txn_id;
+
+  auto ts = dec.GetFixed64();
+  if (!ts.ok()) return ts.status();
+  rec.commit_ts_micros = static_cast<int64_t>(*ts);
+
+  auto user = dec.GetLengthPrefixed();
+  if (!user.ok()) return user.status();
+  rec.user_name = user->ToString();
+
+  auto block_id = dec.GetVarint64();
+  if (!block_id.ok()) return block_id.status();
+  rec.block_id = *block_id;
+
+  auto ordinal = dec.GetVarint64();
+  if (!ordinal.ok()) return ordinal.status();
+  rec.block_ordinal = *ordinal;
+
+  auto num_roots = dec.GetVarint32();
+  if (!num_roots.ok()) return num_roots.status();
+  rec.table_roots.reserve(*num_roots);
+  for (uint32_t i = 0; i < *num_roots; i++) {
+    auto table_id = dec.GetVarint32();
+    if (!table_id.ok()) return table_id.status();
+    auto hash_bytes = dec.GetBytes(32);
+    if (!hash_bytes.ok()) return hash_bytes.status();
+    Hash256 root;
+    std::memcpy(root.bytes.data(), hash_bytes->data(), 32);
+    rec.table_roots.emplace_back(*table_id, root);
+  }
+
+  auto num_ops = dec.GetVarint32();
+  if (!num_ops.ok()) return num_ops.status();
+  rec.ops.reserve(*num_ops);
+  for (uint32_t i = 0; i < *num_ops; i++) {
+    auto type_byte = dec.GetBytes(1);
+    if (!type_byte.ok()) return type_byte.status();
+    WalOp op;
+    uint8_t t = (*type_byte)[0];
+    if (t < 1 || t > 3) return Status::Corruption("bad WAL op type");
+    op.type = static_cast<WalOpType>(t);
+    auto table_id = dec.GetVarint32();
+    if (!table_id.ok()) return table_id.status();
+    op.table_id = *table_id;
+    auto key = DecodeRow(&dec);
+    if (!key.ok()) return key.status();
+    op.key = std::move(*key);
+    auto new_row = DecodeRow(&dec);
+    if (!new_row.ok()) return new_row.status();
+    op.new_row = std::move(*new_row);
+    rec.ops.push_back(std::move(op));
+  }
+  if (!dec.done()) return Status::Corruption("trailing bytes in WAL record");
+  return rec;
+}
+
+Wal::Wal(std::string path, std::FILE* file, WalOptions options)
+    : path_(std::move(path)), file_(file), options_(options) {}
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       WalOptions options) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr)
+    return Status::IOError("cannot open WAL file: " + path);
+  return std::unique_ptr<Wal>(new Wal(path, f, options));
+}
+
+Status Wal::AppendRecord(Slice payload) {
+  std::vector<uint8_t> header;
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&header, Crc32c(payload));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size())
+    return Status::IOError("WAL write failed");
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  bytes_written_ += header.size() + payload.size();
+  if (options_.sync) return Sync();
+  return Status::OK();
+}
+
+Status Wal::AppendCommit(const WalCommitRecord& record) {
+  std::vector<uint8_t> payload;
+  record.EncodeTo(&payload);
+  return AppendRecord(Slice(payload));
+}
+
+Status Wal::Reset() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr)
+    return Status::IOError("cannot truncate WAL file: " + path_);
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  // fileno+fsync keeps this portable across POSIX systems.
+  if (fsync(fileno(file_)) != 0) return Status::IOError("WAL fsync failed");
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Replay(
+    const std::string& path,
+    const std::function<Status(Slice payload)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return static_cast<uint64_t>(0);  // no log yet
+
+  uint64_t records = 0;
+  std::vector<uint8_t> buf;
+  while (true) {
+    uint8_t header[8];
+    size_t n = std::fread(header, 1, 8, f);
+    if (n < 8) break;  // clean EOF or torn header: stop
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; i++) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    for (int i = 0; i < 4; i++)
+      crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    if (len > (1u << 30)) break;  // implausible length: treat as torn tail
+    buf.resize(len);
+    if (std::fread(buf.data(), 1, len, f) != len) break;  // torn payload
+    if (Crc32c(buf.data(), len) != crc) break;            // corrupt record
+    Status st = fn(Slice(buf));
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    records++;
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,103 @@
+#include "txn/lock_manager.h"
+
+namespace sqlledger {
+
+bool LockModesCompatible(LockMode held, LockMode requested) {
+  // Standard multigranularity compatibility matrix.
+  static constexpr bool kCompatible[4][4] = {
+      //            IS     IX     S      X      (requested)
+      /* IS */ {true, true, true, false},
+      /* IX */ {true, true, false, false},
+      /* S  */ {true, false, true, false},
+      /* X  */ {false, false, false, false},
+  };
+  return kCompatible[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+namespace {
+/// True when a transaction already holding `held` needs no new grant for
+/// `requested` (the held mode subsumes it).
+bool Subsumes(LockMode held, LockMode requested) {
+  if (held == requested) return true;
+  switch (held) {
+    case LockMode::kExclusive:
+      return true;
+    case LockMode::kShared:
+      return requested == LockMode::kIntentionShared;
+    case LockMode::kIntentionExclusive:
+      return requested == LockMode::kIntentionShared;
+    case LockMode::kIntentionShared:
+      return false;
+  }
+  return false;
+}
+
+/// The mode a transaction holds after strengthening `held` with `granted`.
+LockMode Strengthen(LockMode held, LockMode granted) {
+  if (Subsumes(held, granted)) return held;
+  if (Subsumes(granted, held)) return granted;
+  // S + IX (or IX + S) = SIX in the full lattice; X is the conservative
+  // upper bound we use (affects only the rare upgrade path).
+  return LockMode::kExclusive;
+}
+}  // namespace
+
+bool LockManager::CanGrant(const Entry& e, uint64_t txn_id,
+                           LockMode mode) const {
+  for (const auto& [holder, held] : e.holders) {
+    if (holder == txn_id) continue;
+    if (!LockModesCompatible(held, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
+                                  Entry* entry, uint64_t txn_id,
+                                  LockMode mode, const char* what) {
+  auto held = entry->holders.find(txn_id);
+  if (held != entry->holders.end() && Subsumes(held->second, mode))
+    return Status::OK();
+
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!CanGrant(*entry, txn_id, mode)) {
+    if (cv_.wait_until(*lock, deadline) == std::cv_status::timeout) {
+      return Status::Aborted(std::string("lock timeout on ") + what +
+                             " (possible deadlock)");
+    }
+  }
+  held = entry->holders.find(txn_id);
+  entry->holders[txn_id] = held == entry->holders.end()
+                               ? mode
+                               : Strengthen(held->second, mode);
+  return Status::OK();
+}
+
+Status LockManager::AcquireTable(uint64_t txn_id, uint32_t table_id,
+                                 LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return AcquireLocked(&lock, &tables_[table_id], txn_id, mode, "table");
+}
+
+Status LockManager::AcquireRow(uint64_t txn_id, uint32_t table_id,
+                               const KeyTuple& key, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return AcquireLocked(&lock, &rows_[table_id][key], txn_id, mode, "row");
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [table_id, entry] : tables_) entry.holders.erase(txn_id);
+  for (auto& [table_id, row_map] : rows_) {
+    for (auto it = row_map.begin(); it != row_map.end();) {
+      it->second.holders.erase(txn_id);
+      if (it->second.holders.empty()) {
+        it = row_map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,76 @@
+// Hierarchical two-phase locking with intention modes, in the classic
+// System R style:
+//   - table-level locks: IS, IX, S, X
+//   - row-level locks:   S, X   (under an intention lock on the table)
+// Readers take IS + row S; writers take IX + row X; scans take table S;
+// DDL/maintenance takes table X. Locks are held until commit/abort (strict
+// 2PL). Deadlocks are resolved by timeout: a request that cannot be granted
+// within the budget aborts its transaction, which the caller retries.
+//
+// Physical consistency of the underlying B+-trees is the table stores' own
+// short-duration latching; these locks provide transaction isolation.
+
+#ifndef SQLLEDGER_TXN_LOCK_MANAGER_H_
+#define SQLLEDGER_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "catalog/value.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+enum class LockMode : uint8_t {
+  kIntentionShared = 0,     // IS
+  kIntentionExclusive = 1,  // IX
+  kShared = 2,              // S
+  kExclusive = 3,           // X
+};
+
+/// True when a holder in `held` permits another transaction to acquire
+/// `requested` on the same resource.
+bool LockModesCompatible(LockMode held, LockMode requested);
+
+class LockManager {
+ public:
+  explicit LockManager(std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds(1000))
+      : timeout_(timeout) {}
+
+  /// Acquires (or strengthens to) `mode` on the table. Reentrant; a holder
+  /// never blocks itself. Returns Aborted on timeout.
+  Status AcquireTable(uint64_t txn_id, uint32_t table_id, LockMode mode);
+
+  /// Acquires a row lock (kShared/kExclusive only). The caller must already
+  /// hold a table-level intention (or stronger) lock.
+  Status AcquireRow(uint64_t txn_id, uint32_t table_id, const KeyTuple& key,
+                    LockMode mode);
+
+  /// Releases every table and row lock held by `txn_id`.
+  void ReleaseAll(uint64_t txn_id);
+
+ private:
+  struct Entry {
+    // txn -> strongest mode held. Usually tiny.
+    std::map<uint64_t, LockMode> holders;
+  };
+
+  bool CanGrant(const Entry& e, uint64_t txn_id, LockMode mode) const;
+  Status AcquireLocked(std::unique_lock<std::mutex>* lock, Entry* entry,
+                       uint64_t txn_id, LockMode mode,
+                       const char* what);
+
+  std::chrono::milliseconds timeout_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint32_t, Entry> tables_;
+  std::map<uint32_t, std::map<KeyTuple, Entry, KeyTupleLess>> rows_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_TXN_LOCK_MANAGER_H_

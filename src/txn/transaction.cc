@@ -1,0 +1,140 @@
+#include "txn/transaction.h"
+
+namespace sqlledger {
+
+void Transaction::RecordInsert(TableStore* table, const KeyTuple& key,
+                               const Row& row) {
+  WalOp op;
+  op.type = WalOpType::kInsert;
+  op.table_id = table->table_id();
+  op.key = key;
+  op.new_row = row;
+  ops_.push_back(std::move(op));
+
+  UndoEntry undo;
+  undo.type = WalOpType::kInsert;
+  undo.table = table;
+  undo.key = key;
+  undo_.push_back(std::move(undo));
+}
+
+void Transaction::RecordUpdate(TableStore* table, const KeyTuple& key,
+                               const Row& old_row, const Row& new_row) {
+  WalOp op;
+  op.type = WalOpType::kUpdate;
+  op.table_id = table->table_id();
+  op.key = key;
+  op.new_row = new_row;
+  ops_.push_back(std::move(op));
+
+  UndoEntry undo;
+  undo.type = WalOpType::kUpdate;
+  undo.table = table;
+  undo.key = key;
+  undo.old_row = old_row;
+  undo_.push_back(std::move(undo));
+}
+
+void Transaction::RecordDelete(TableStore* table, const KeyTuple& key,
+                               const Row& old_row) {
+  WalOp op;
+  op.type = WalOpType::kDelete;
+  op.table_id = table->table_id();
+  op.key = key;
+  ops_.push_back(std::move(op));
+
+  UndoEntry undo;
+  undo.type = WalOpType::kDelete;
+  undo.table = table;
+  undo.key = key;
+  undo.old_row = old_row;
+  undo_.push_back(std::move(undo));
+}
+
+MerkleBuilder* Transaction::MerkleForTable(uint32_t table_id) {
+  return &merkle_[table_id];
+}
+
+std::vector<std::pair<uint32_t, Hash256>> Transaction::TableRoots() const {
+  std::vector<std::pair<uint32_t, Hash256>> roots;
+  roots.reserve(merkle_.size());
+  for (const auto& [table_id, builder] : merkle_) {
+    if (builder.leaf_count() == 0) continue;  // fully rolled back
+    roots.emplace_back(table_id, builder.Root());
+  }
+  return roots;
+}
+
+Status Transaction::CreateSavepoint(const std::string& name) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  SavepointRecord sp;
+  sp.name = name;
+  sp.undo_size = undo_.size();
+  sp.ops_size = ops_.size();
+  sp.next_sequence = next_sequence_;
+  for (const auto& [table_id, builder] : merkle_)
+    sp.merkle_states[table_id] = builder.GetState();
+  savepoints_.push_back(std::move(sp));
+  return Status::OK();
+}
+
+Status Transaction::RollbackToSavepoint(const std::string& name) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  int found = -1;
+  for (int i = static_cast<int>(savepoints_.size()) - 1; i >= 0; i--) {
+    if (savepoints_[i].name == name) {
+      found = i;
+      break;
+    }
+  }
+  if (found < 0) return Status::NotFound("savepoint '" + name + "' not found");
+  SavepointRecord& sp = savepoints_[found];
+
+  UndoRange(sp.undo_size);
+  ops_.resize(sp.ops_size);
+  next_sequence_ = sp.next_sequence;
+
+  // Restore Merkle builders: tables captured in the savepoint get their
+  // snapshot back; tables first touched after the savepoint are discarded.
+  for (auto it = merkle_.begin(); it != merkle_.end();) {
+    auto state_it = sp.merkle_states.find(it->first);
+    if (state_it == sp.merkle_states.end()) {
+      it = merkle_.erase(it);
+    } else {
+      it->second.RestoreState(state_it->second);
+      ++it;
+    }
+  }
+  // Discard savepoints created after this one (keep the target itself).
+  savepoints_.resize(static_cast<size_t>(found) + 1);
+  return Status::OK();
+}
+
+void Transaction::UndoRange(size_t from) {
+  while (undo_.size() > from) {
+    UndoEntry& e = undo_.back();
+    switch (e.type) {
+      case WalOpType::kInsert:
+        e.table->Delete(e.key);
+        break;
+      case WalOpType::kUpdate:
+        e.table->Update(e.old_row);
+        break;
+      case WalOpType::kDelete:
+        e.table->Insert(e.old_row);
+        break;
+    }
+    undo_.pop_back();
+  }
+}
+
+void Transaction::Abort() {
+  if (state_ != State::kActive) return;
+  UndoRange(0);
+  ops_.clear();
+  merkle_.clear();
+  savepoints_.clear();
+  state_ = State::kAborted;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,106 @@
+// Transactions. A transaction applies its changes eagerly to table stores
+// under strict two-phase hierarchical locks, accumulating:
+//   - redo operations (become the WAL commit record),
+//   - undo entries (reverse-applied on abort or partial rollback),
+//   - one streaming Merkle tree per ledger table touched (paper §3.2), and
+//   - a per-transaction operation sequence counter (paper §3.1).
+//
+// Savepoints snapshot the undo/redo positions, the sequence counter, and
+// the O(log N) Merkle builder states (paper §3.2.1), so partial rollback is
+// cheap regardless of how many rows were updated.
+
+#ifndef SQLLEDGER_TXN_TRANSACTION_H_
+#define SQLLEDGER_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "storage/table_store.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  Transaction(uint64_t id, std::string user_name)
+      : id_(id), user_name_(std::move(user_name)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& user_name() const { return user_name_; }
+  State state() const { return state_; }
+  bool active() const { return state_ == State::kActive; }
+
+  /// Next per-transaction operation sequence number (paper §3.1): row
+  /// versions are hashed in the order they were updated, and verification
+  /// must replay the same order.
+  uint64_t NextSequence() { return next_sequence_++; }
+  uint64_t sequence_count() const { return next_sequence_; }
+
+  // ---- Change tracking (called by the DML layer) ----
+
+  /// Records a redo op for the WAL and the matching undo entry.
+  void RecordInsert(TableStore* table, const KeyTuple& key, const Row& row);
+  void RecordUpdate(TableStore* table, const KeyTuple& key, const Row& old_row,
+                    const Row& new_row);
+  void RecordDelete(TableStore* table, const KeyTuple& key, const Row& old_row);
+
+  /// Streaming Merkle tree for the given ledger table; created on first use.
+  MerkleBuilder* MerkleForTable(uint32_t table_id);
+  /// (table id, root) pairs for all ledger tables touched, id-ordered —
+  /// the transaction entry payload recorded in the Database Ledger.
+  std::vector<std::pair<uint32_t, Hash256>> TableRoots() const;
+
+  const std::vector<WalOp>& ops() const { return ops_; }
+  bool HasLedgerUpdates() const { return !merkle_.empty(); }
+
+  // ---- Savepoints (paper §3.2.1) ----
+
+  Status CreateSavepoint(const std::string& name);
+  /// Reverts table stores, redo ops, sequence counter and Merkle trees to
+  /// the state captured by the savepoint. Later savepoints are discarded;
+  /// the named savepoint itself remains available.
+  Status RollbackToSavepoint(const std::string& name);
+
+  // ---- Terminal transitions (called by the database facade) ----
+
+  /// Reverse-applies all undo entries. Idempotent once aborted.
+  void Abort();
+  void MarkCommitted() { state_ = State::kCommitted; }
+
+ private:
+  struct UndoEntry {
+    WalOpType type;
+    TableStore* table;
+    KeyTuple key;
+    Row old_row;  // pre-image for update/delete
+  };
+
+  struct SavepointRecord {
+    std::string name;
+    size_t undo_size;
+    size_t ops_size;
+    uint64_t next_sequence;
+    std::map<uint32_t, MerkleBuilderState> merkle_states;
+  };
+
+  void UndoRange(size_t from);
+
+  uint64_t id_;
+  std::string user_name_;
+  State state_ = State::kActive;
+  uint64_t next_sequence_ = 0;
+  std::vector<WalOp> ops_;
+  std::vector<UndoEntry> undo_;
+  std::map<uint32_t, MerkleBuilder> merkle_;
+  std::vector<SavepointRecord> savepoints_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_TXN_TRANSACTION_H_

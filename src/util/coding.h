@@ -1,0 +1,62 @@
+// Binary encoding primitives: fixed-width little-endian integers and LEB128
+// varints, plus length-prefixed byte strings. Used by the WAL, the canonical
+// row serialization format, and checkpoint files.
+
+#ifndef SQLLEDGER_UTIL_CODING_H_
+#define SQLLEDGER_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+// ---- Appenders (to std::vector<uint8_t>) ----
+
+void PutFixed16(std::vector<uint8_t>* dst, uint16_t v);
+void PutFixed32(std::vector<uint8_t>* dst, uint32_t v);
+void PutFixed64(std::vector<uint8_t>* dst, uint64_t v);
+void PutVarint32(std::vector<uint8_t>* dst, uint32_t v);
+void PutVarint64(std::vector<uint8_t>* dst, uint64_t v);
+/// Varint length prefix followed by the raw bytes.
+void PutLengthPrefixed(std::vector<uint8_t>* dst, Slice value);
+
+// ---- Decoders ----
+// A Decoder consumes from a Slice front-to-back and fails with Corruption on
+// truncated input rather than reading out of bounds.
+
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : input_(input), pos_(0) {}
+
+  size_t remaining() const { return input_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  size_t position() const { return pos_; }
+
+  Result<uint16_t> GetFixed16();
+  Result<uint32_t> GetFixed32();
+  Result<uint64_t> GetFixed64();
+  Result<uint32_t> GetVarint32();
+  Result<uint64_t> GetVarint64();
+  /// Returns a view into the underlying buffer (no copy).
+  Result<Slice> GetLengthPrefixed();
+  Result<Slice> GetBytes(size_t n);
+
+ private:
+  Slice input_;
+  size_t pos_;
+};
+
+// ---- CRC32C (software implementation) ----
+
+/// CRC-32C (Castagnoli). Guards every WAL record against torn writes.
+uint32_t Crc32c(const uint8_t* data, size_t n);
+inline uint32_t Crc32c(Slice s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_CODING_H_

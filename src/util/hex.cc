@@ -1,0 +1,40 @@
+#include "util/hex.h"
+
+namespace sqlledger {
+
+std::string HexEncode(Slice data) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (size_t i = 0; i < data.size(); i++) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0)
+    return Status::InvalidArgument("hex string has odd length");
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexDigit(hex[i]);
+    int lo = HexDigit(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      return Status::InvalidArgument("non-hex character in string");
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace sqlledger

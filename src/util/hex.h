@@ -1,0 +1,22 @@
+// Hex encoding/decoding for hashes in digests, logs and test output.
+
+#ifndef SQLLEDGER_UTIL_HEX_H_
+#define SQLLEDGER_UTIL_HEX_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace sqlledger {
+
+/// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(Slice data);
+
+/// Inverse of HexEncode; accepts upper- or lowercase, fails on odd length or
+/// non-hex characters.
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex);
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_HEX_H_

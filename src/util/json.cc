@@ -1,0 +1,414 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sqlledger {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& kv : object_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& kv : object_) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  static const JsonValue kNullValue;
+  for (const auto& kv : object_) {
+    if (kv.first == key) return kv.second;
+  }
+  return kNullValue;
+}
+
+Result<int64_t> JsonValue::GetInt(const std::string& key) const {
+  const JsonValue& v = Get(key);
+  if (!v.is_int())
+    return Status::InvalidArgument("JSON member '" + key +
+                                   "' missing or not an integer");
+  return v.int_value();
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue& v = Get(key);
+  if (!v.is_string())
+    return Status::InvalidArgument("JSON member '" + key +
+                                   "' missing or not a string");
+  return v.string_value();
+}
+
+namespace {
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        *out += "null";  // JSON has no Inf/NaN representation
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); i++) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); i++) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        EscapeTo(object_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) Indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, 2, 0);
+  return out;
+}
+
+namespace {
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text), pos_(0) {}
+
+  Result<JsonValue> Parse() {
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size())
+      return Status::InvalidArgument("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      pos_++;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size())
+      return Status::InvalidArgument("unexpected end of JSON input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::Str(std::move(*s));
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue::Bool(true);
+        }
+        break;
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue::Bool(false);
+        }
+        break;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue::Null();
+        }
+        break;
+      default:
+        return ParseNumber();
+    }
+    return Status::InvalidArgument("malformed JSON literal");
+  }
+
+  Result<JsonValue> ParseObject() {
+    pos_++;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return Status::InvalidArgument("expected object key string");
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':'))
+        return Status::InvalidArgument("expected ':' after object key");
+      auto val = ParseValue();
+      if (!val.ok()) return val;
+      obj.Set(*key, std::move(*val));
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    pos_++;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      auto val = ParseValue();
+      if (!val.ok()) return val;
+      arr.Append(std::move(*val));
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    pos_++;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size())
+          return Status::InvalidArgument("truncated escape sequence");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return Status::InvalidArgument("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; i++) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return Status::InvalidArgument("invalid \\u escape digit");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; digests never
+            // contain surrogate pairs).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) pos_++;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        pos_++;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid inside exponent; accept loosely, strtod validates.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        pos_++;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Status::InvalidArgument("malformed number");
+    std::string tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size())
+        return JsonValue::Int(v);
+    }
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+      return Status::InvalidArgument("malformed number: " + tok);
+    if (!std::isfinite(d))
+      return Status::InvalidArgument("number out of range: " + tok);
+    return JsonValue::Double(d);
+  }
+
+  const std::string& text_;
+  size_t pos_;
+};
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace sqlledger

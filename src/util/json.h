@@ -1,0 +1,88 @@
+// Minimal JSON document model with writer and recursive-descent parser.
+// Database Digests are exchanged as JSON documents (paper §2.2), so the
+// library needs to both emit and re-parse them without external deps.
+
+#ifndef SQLLEDGER_UTIL_JSON_H_
+#define SQLLEDGER_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sqlledger {
+
+/// A JSON value: null, bool, int64, double, string, array or object.
+/// Integers are kept distinct from doubles so 64-bit ids round-trip exactly.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_int() const { return type_ == Type::kInt; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  size_t size() const { return array_.size(); }
+  const JsonValue& operator[](size_t i) const { return array_[i]; }
+
+  // Object access. Members keep insertion order for stable output.
+  void Set(const std::string& key, JsonValue v);
+  bool Has(const std::string& key) const;
+  /// Returns the member or a shared null value if absent.
+  const JsonValue& Get(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  // Typed object getters with error reporting for digest parsing.
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+
+  /// Serialize to a compact JSON string.
+  std::string Dump() const;
+  /// Serialize with two-space indentation (for files meant for humans).
+  std::string DumpPretty() const;
+
+  /// Parse a JSON document. Fails with InvalidArgument on malformed input.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_JSON_H_

@@ -1,0 +1,54 @@
+#include "util/random.h"
+
+namespace sqlledger {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 to expand the seed into two non-zero state words.
+  auto splitmix = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  s0_ = splitmix();
+  s1_ = splitmix();
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Random::AlphaString(size_t len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; i++) out[i] = kChars[Uniform(62)];
+  return out;
+}
+
+int64_t Random::NonUniform(int64_t a, int64_t x, int64_t y) {
+  int64_t c = static_cast<int64_t>(Uniform(static_cast<uint64_t>(a + 1)));
+  int64_t r = UniformRange(x, y);
+  return (((r | c) + x) % (y - x + 1)) + x;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,38 @@
+// Deterministic PRNG for workload generators and property tests
+// (xorshift128+; fast, seedable, reproducible across platforms).
+
+#ifndef SQLLEDGER_UTIL_RANDOM_H_
+#define SQLLEDGER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlledger {
+
+/// Seedable PRNG. Not cryptographic; used only for test/bench data.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// True with probability p (0..1).
+  bool Bernoulli(double p);
+  double NextDouble();  // [0, 1)
+  /// Random alphanumeric string of exactly `len` characters.
+  std::string AlphaString(size_t len);
+  /// NURand-style non-uniform random from the TPC-C spec, used by the
+  /// workload generators to produce skewed customer/item access.
+  int64_t NonUniform(int64_t a, int64_t x, int64_t y);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_RANDOM_H_

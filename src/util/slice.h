@@ -1,0 +1,57 @@
+// Slice: a non-owning view over a byte range, in the RocksDB style. Used on
+// hashing and serialization hot paths to avoid copies.
+
+#ifndef SQLLEDGER_UTIL_SLICE_H_
+#define SQLLEDGER_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sqlledger {
+
+/// A pointer + length pair. The referenced memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+  int Compare(const Slice& other) const {
+    size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r != 0) return r;
+    if (size_ < other.size_) return -1;
+    if (size_ > other.size_) return 1;
+    return 0;
+  }
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return Compare(other) != 0; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_SLICE_H_

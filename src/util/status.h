@@ -1,0 +1,101 @@
+// Status: lightweight error propagation, modeled after the Status idiom used
+// by RocksDB and Arrow. Library code never throws; every fallible operation
+// returns a Status (or Result<T>, see result.h).
+
+#ifndef SQLLEDGER_UTIL_STATUS_H_
+#define SQLLEDGER_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sqlledger {
+
+/// Canonical error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,        // on-disk or in-memory structures are damaged
+  kIOError = 5,
+  kNotSupported = 6,
+  kAborted = 7,           // transaction aborted (deadlock, explicit rollback)
+  kIntegrityViolation = 8,  // ledger verification detected tampering
+  kPermissionDenied = 9,  // e.g. mutating an immutable blob
+  kBusy = 10,
+  kInternal = 11,
+};
+
+/// The result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a code and message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsIntegrityViolation() const {
+    return code_ == StatusCode::kIntegrityViolation;
+  }
+
+  /// "OK" or "<code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define SL_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::sqlledger::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_STATUS_H_

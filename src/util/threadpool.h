@@ -1,0 +1,86 @@
+// Minimal fixed-size thread pool used to parallelize ledger verification
+// across tables (the paper leans on SQL Server's parallel query execution
+// for the same purpose, §3.4.2).
+
+#ifndef SQLLEDGER_UTIL_THREADPOOL_H_
+#define SQLLEDGER_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqlledger {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (minimum 1).
+  explicit ThreadPool(size_t threads) {
+    if (threads == 0) threads = 1;
+    for (size_t i = 0; i < threads; i++) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        running_++;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_--;
+        if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_THREADPOOL_H_

@@ -1,0 +1,96 @@
+// Simulated decentralized-consensus ledger, standing in for the Hyperledger
+// Fabric comparison point of the paper's §4.1.1 ("more than 20 times" lower
+// throughput, "latency in the order of 100s of ms"). See DESIGN.md §1.3.
+//
+// The simulation models the three-phase Fabric pipeline that dominates its
+// performance envelope:
+//   1. endorsement  — per-transaction signing round-trips to N endorsers,
+//   2. ordering     — transactions batch into blocks, cut when the batch is
+//                     full or the block interval elapses,
+//   3. validation   — per-block commit work at every peer.
+// Throughput is capped by batch_size / block_interval plus validation cost;
+// latency is endorsement + expected wait for the block cut + validation —
+// exactly the architectural costs a centralized ledger avoids. Default
+// parameters follow the published Fabric numbers the paper cites [1].
+
+#ifndef SQLLLEDGER_WORKLOAD_CONSENSUS_BASELINE_H_
+#define SQLLLEDGER_WORKLOAD_CONSENSUS_BASELINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sqlledger {
+
+struct ConsensusConfig {
+  int endorsers = 3;
+  /// One-way network latency per hop.
+  std::chrono::microseconds network_hop{1500};
+  /// CPU cost of validating one endorsement signature.
+  std::chrono::microseconds endorsement_validate{250};
+  /// Ordering-service block parameters (Fabric defaults: 500ms / 500 txns).
+  std::chrono::microseconds block_interval{500000};
+  uint64_t block_size = 500;
+  /// Per-transaction validation cost at commit.
+  std::chrono::microseconds per_txn_validation{150};
+  /// Scale every simulated duration by 1/time_scale so benchmarks finish
+  /// quickly while preserving ratios. 1 = real time.
+  uint64_t time_scale = 1;
+};
+
+struct ConsensusStats {
+  uint64_t committed = 0;
+  /// Sum of simulated end-to-end latencies, microseconds (unscaled).
+  uint64_t total_latency_micros = 0;
+  uint64_t blocks = 0;
+};
+
+/// A single-node simulation of an ordered-consensus ledger. Submit() blocks
+/// (in scaled time) until the transaction's block commits, and returns the
+/// simulated (unscaled) end-to-end latency.
+class SimulatedConsensusLedger {
+ public:
+  explicit SimulatedConsensusLedger(ConsensusConfig config);
+  ~SimulatedConsensusLedger();
+
+  /// Submits one transaction payload; returns its simulated end-to-end
+  /// latency in (unscaled) microseconds.
+  uint64_t Submit(Slice payload);
+
+  ConsensusStats stats() const;
+  /// The throughput ceiling implied by the ordering parameters, tps.
+  double TheoreticalMaxThroughput() const;
+
+ private:
+  void OrdererLoop();
+  std::chrono::microseconds Scaled(std::chrono::microseconds d) const {
+    return d / static_cast<int64_t>(config_.time_scale == 0 ? 1
+                                                            : config_.time_scale);
+  }
+
+  ConsensusConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  struct Pending {
+    Hash256 digest;
+    uint64_t submit_seq;
+    bool committed = false;
+  };
+  std::vector<Pending*> batch_;
+  uint64_t next_seq_ = 0;
+  ConsensusStats stats_;
+  bool stop_ = false;
+  std::thread orderer_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLLEDGER_WORKLOAD_CONSENSUS_BASELINE_H_

@@ -1,0 +1,407 @@
+#include "workload/tpcc.h"
+
+namespace sqlledger {
+
+namespace {
+Schema MakeWarehouseSchema() {
+  Schema s;
+  s.AddColumn("w_id", DataType::kBigInt, false);
+  s.AddColumn("w_name", DataType::kVarchar, false, 10);
+  s.AddColumn("w_ytd", DataType::kDouble, false);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+Schema MakeDistrictSchema() {
+  Schema s;
+  s.AddColumn("d_w_id", DataType::kBigInt, false);
+  s.AddColumn("d_id", DataType::kBigInt, false);
+  s.AddColumn("d_name", DataType::kVarchar, false, 10);
+  s.AddColumn("d_next_o_id", DataType::kBigInt, false);
+  s.AddColumn("d_ytd", DataType::kDouble, false);
+  s.SetPrimaryKey({0, 1});
+  return s;
+}
+
+Schema MakeCustomerSchema() {
+  Schema s;
+  s.AddColumn("c_w_id", DataType::kBigInt, false);
+  s.AddColumn("c_d_id", DataType::kBigInt, false);
+  s.AddColumn("c_id", DataType::kBigInt, false);
+  s.AddColumn("c_name", DataType::kVarchar, false, 16);
+  s.AddColumn("c_balance", DataType::kDouble, false);
+  s.AddColumn("c_ytd_payment", DataType::kDouble, false);
+  s.AddColumn("c_payment_cnt", DataType::kBigInt, false);
+  s.SetPrimaryKey({0, 1, 2});
+  return s;
+}
+
+Schema MakeItemSchema() {
+  Schema s;
+  s.AddColumn("i_id", DataType::kBigInt, false);
+  s.AddColumn("i_name", DataType::kVarchar, false, 24);
+  s.AddColumn("i_price", DataType::kDouble, false);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+Schema MakeStockSchema() {
+  Schema s;
+  s.AddColumn("s_w_id", DataType::kBigInt, false);
+  s.AddColumn("s_i_id", DataType::kBigInt, false);
+  s.AddColumn("s_quantity", DataType::kBigInt, false);
+  s.AddColumn("s_ytd", DataType::kBigInt, false);
+  s.AddColumn("s_order_cnt", DataType::kBigInt, false);
+  s.SetPrimaryKey({0, 1});
+  return s;
+}
+
+Schema MakeNewOrderSchema() {
+  Schema s;
+  s.AddColumn("no_w_id", DataType::kBigInt, false);
+  s.AddColumn("no_d_id", DataType::kBigInt, false);
+  s.AddColumn("no_o_id", DataType::kBigInt, false);
+  s.SetPrimaryKey({0, 1, 2});
+  return s;
+}
+
+Schema MakeOrdersSchema() {
+  Schema s;
+  s.AddColumn("o_w_id", DataType::kBigInt, false);
+  s.AddColumn("o_d_id", DataType::kBigInt, false);
+  s.AddColumn("o_id", DataType::kBigInt, false);
+  s.AddColumn("o_c_id", DataType::kBigInt, false);
+  s.AddColumn("o_entry_d", DataType::kTimestamp, false);
+  s.AddColumn("o_carrier_id", DataType::kBigInt, true);
+  s.AddColumn("o_ol_cnt", DataType::kBigInt, false);
+  s.SetPrimaryKey({0, 1, 2});
+  return s;
+}
+
+Schema MakeOrderLineSchema() {
+  Schema s;
+  s.AddColumn("ol_w_id", DataType::kBigInt, false);
+  s.AddColumn("ol_d_id", DataType::kBigInt, false);
+  s.AddColumn("ol_o_id", DataType::kBigInt, false);
+  s.AddColumn("ol_number", DataType::kBigInt, false);
+  s.AddColumn("ol_i_id", DataType::kBigInt, false);
+  s.AddColumn("ol_quantity", DataType::kBigInt, false);
+  s.AddColumn("ol_amount", DataType::kDouble, false);
+  s.AddColumn("ol_delivery_d", DataType::kTimestamp, true);
+  s.SetPrimaryKey({0, 1, 2, 3});
+  return s;
+}
+
+Schema MakeHistorySchema2() {
+  Schema s;
+  s.AddColumn("h_id", DataType::kBigInt, false);
+  s.AddColumn("h_w_id", DataType::kBigInt, false);
+  s.AddColumn("h_d_id", DataType::kBigInt, false);
+  s.AddColumn("h_c_id", DataType::kBigInt, false);
+  s.AddColumn("h_date", DataType::kTimestamp, false);
+  s.AddColumn("h_amount", DataType::kDouble, false);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+Value B(int64_t v) { return Value::BigInt(v); }
+}  // namespace
+
+Status TpccWorkload::Setup() {
+  TableKind ledger_kind = config_.ledger_tables ? TableKind::kUpdateable
+                                                : TableKind::kRegular;
+  // Creation order doubles as the canonical lock-acquisition order that
+  // every transaction type follows, so table-granularity 2PL cannot
+  // deadlock (see each transaction's body).
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("warehouse", MakeWarehouseSchema(), TableKind::kRegular));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("district", MakeDistrictSchema(), TableKind::kRegular));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("customer", MakeCustomerSchema(), TableKind::kRegular));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("item", MakeItemSchema(), TableKind::kRegular));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("stock", MakeStockSchema(), TableKind::kRegular));
+  // The four order/payment tables the paper converts to ledger tables.
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("new_order", MakeNewOrderSchema(), ledger_kind));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("orders", MakeOrdersSchema(), ledger_kind));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("order_line", MakeOrderLineSchema(), ledger_kind));
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("history", MakeHistorySchema2(), ledger_kind));
+
+  Random rng(42);
+  auto txn = db_->Begin("loader");
+  if (!txn.ok()) return txn.status();
+  for (int w = 1; w <= config_.warehouses; w++) {
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "warehouse",
+        {B(w), Value::Varchar("WH" + std::to_string(w)), Value::Double(0)}));
+    for (int d = 1; d <= config_.districts_per_warehouse; d++) {
+      SL_RETURN_IF_ERROR(db_->Insert(
+          *txn, "district",
+          {B(w), B(d), Value::Varchar("D" + std::to_string(d)), B(1),
+           Value::Double(0)}));
+      for (int c = 1; c <= config_.customers_per_district; c++) {
+        SL_RETURN_IF_ERROR(db_->Insert(
+            *txn, "customer",
+            {B(w), B(d), B(c), Value::Varchar(rng.AlphaString(12)),
+             Value::Double(0), Value::Double(0), B(0)}));
+      }
+    }
+    for (int i = 1; i <= config_.items; i++) {
+      SL_RETURN_IF_ERROR(db_->Insert(
+          *txn, "stock", {B(w), B(i), B(50 + static_cast<int64_t>(
+                                              rng.Uniform(50))),
+                          B(0), B(0)}));
+    }
+  }
+  for (int i = 1; i <= config_.items; i++) {
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "item",
+        {B(i), Value::Varchar(rng.AlphaString(16)),
+         Value::Double(1.0 + static_cast<double>(rng.Uniform(9900)) / 100)}));
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::NewOrder(Random* rng) {
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+  int64_t ol_cnt = rng->UniformRange(5, 15);
+
+  auto txn = db_->Begin("tpcc");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  // Lock order: district -> item -> stock -> new_order -> orders ->
+  // order_line.
+  auto district = db_->Get(*txn, "district", {B(w), B(d)});
+  if (!district.ok()) return fail(district.status());
+  int64_t o_id = (*district)[3].AsInt64();
+  Row new_district = *district;
+  new_district[3] = B(o_id + 1);
+  Status st = db_->Update(*txn, "district", new_district);
+  if (!st.ok()) return fail(st);
+
+  struct Line {
+    int64_t i_id;
+    int64_t qty;
+    double amount;
+  };
+  std::vector<Line> lines;
+  for (int64_t ol = 1; ol <= ol_cnt; ol++) {
+    int64_t i_id = rng->NonUniform(255, 1, config_.items);
+    auto item = db_->Get(*txn, "item", {B(i_id)});
+    if (!item.ok()) return fail(item.status());
+    int64_t qty = rng->UniformRange(1, 10);
+    lines.push_back({i_id, qty, (*item)[2].double_value() * qty});
+  }
+  for (const Line& line : lines) {
+    auto stock = db_->Get(*txn, "stock", {B(w), B(line.i_id)});
+    if (!stock.ok()) return fail(stock.status());
+    Row new_stock = *stock;
+    int64_t q = new_stock[2].AsInt64() - line.qty;
+    if (q < 10) q += 91;
+    new_stock[2] = B(q);
+    new_stock[3] = B(new_stock[3].AsInt64() + line.qty);
+    new_stock[4] = B(new_stock[4].AsInt64() + 1);
+    st = db_->Update(*txn, "stock", new_stock);
+    if (!st.ok()) return fail(st);
+  }
+
+  st = db_->Insert(*txn, "new_order", {B(w), B(d), B(o_id)});
+  if (!st.ok()) return fail(st);
+  st = db_->Insert(*txn, "orders",
+                   {B(w), B(d), B(o_id), B(c),
+                    Value::Timestamp(db_->NowMicros()),
+                    Value::Null(DataType::kBigInt), B(ol_cnt)});
+  if (!st.ok()) return fail(st);
+  for (size_t ol = 0; ol < lines.size(); ol++) {
+    st = db_->Insert(*txn, "order_line",
+                     {B(w), B(d), B(o_id), B(static_cast<int64_t>(ol + 1)),
+                      B(lines[ol].i_id), B(lines[ol].qty),
+                      Value::Double(lines[ol].amount),
+                      Value::Null(DataType::kTimestamp)});
+    if (!st.ok()) return fail(st);
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::Payment(Random* rng) {
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+  double amount = 1.0 + static_cast<double>(rng->Uniform(500000)) / 100;
+
+  auto txn = db_->Begin("tpcc");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  // Lock order: warehouse -> district -> customer -> history.
+  auto warehouse = db_->Get(*txn, "warehouse", {B(w)});
+  if (!warehouse.ok()) return fail(warehouse.status());
+  Row new_wh = *warehouse;
+  new_wh[2] = Value::Double(new_wh[2].double_value() + amount);
+  Status st = db_->Update(*txn, "warehouse", new_wh);
+  if (!st.ok()) return fail(st);
+
+  auto district = db_->Get(*txn, "district", {B(w), B(d)});
+  if (!district.ok()) return fail(district.status());
+  Row new_district = *district;
+  new_district[4] = Value::Double(new_district[4].double_value() + amount);
+  st = db_->Update(*txn, "district", new_district);
+  if (!st.ok()) return fail(st);
+
+  auto customer = db_->Get(*txn, "customer", {B(w), B(d), B(c)});
+  if (!customer.ok()) return fail(customer.status());
+  Row new_customer = *customer;
+  new_customer[4] = Value::Double(new_customer[4].double_value() - amount);
+  new_customer[5] = Value::Double(new_customer[5].double_value() + amount);
+  new_customer[6] = B(new_customer[6].AsInt64() + 1);
+  st = db_->Update(*txn, "customer", new_customer);
+  if (!st.ok()) return fail(st);
+
+  st = db_->Insert(*txn, "history",
+                   {B(next_history_id_.fetch_add(1)), B(w), B(d), B(c),
+                    Value::Timestamp(db_->NowMicros()),
+                    Value::Double(amount)});
+  if (!st.ok()) return fail(st);
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::Delivery(Random* rng) {
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t carrier = rng->UniformRange(1, 10);
+
+  auto txn = db_->Begin("tpcc");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  // Lock order: new_order -> orders -> order_line. Deliver up to three
+  // districts per invocation (scaled down from TPC-C's ten).
+  int64_t delivered = 0;
+  for (int64_t d = 1; d <= config_.districts_per_warehouse && delivered < 3;
+       d++) {
+    auto oldest = db_->SeekFirst(*txn, "new_order", {B(w), B(d)});
+    if (!oldest.ok()) {
+      if (oldest.status().IsNotFound()) continue;
+      return fail(oldest.status());
+    }
+    int64_t o_id = (*oldest)[2].AsInt64();
+    Status st = db_->Delete(*txn, "new_order", {B(w), B(d), B(o_id)});
+    if (!st.ok()) return fail(st);
+
+    auto order = db_->Get(*txn, "orders", {B(w), B(d), B(o_id)});
+    if (!order.ok()) return fail(order.status());
+    Row new_order_row = *order;
+    new_order_row[5] = B(carrier);
+    st = db_->Update(*txn, "orders", new_order_row);
+    if (!st.ok()) return fail(st);
+
+    int64_t ol_cnt = (*order)[6].AsInt64();
+    for (int64_t ol = 1; ol <= ol_cnt; ol++) {
+      auto line = db_->Get(*txn, "order_line", {B(w), B(d), B(o_id), B(ol)});
+      if (!line.ok()) return fail(line.status());
+      Row new_line = *line;
+      new_line[7] = Value::Timestamp(db_->NowMicros());
+      st = db_->Update(*txn, "order_line", new_line);
+      if (!st.ok()) return fail(st);
+    }
+    delivered++;
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::OrderStatus(Random* rng) {
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+
+  auto txn = db_->Begin("tpcc");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  auto customer = db_->Get(*txn, "customer", {B(w), B(d), B(c)});
+  if (!customer.ok()) return fail(customer.status());
+  auto order = db_->SeekFirst(*txn, "orders", {B(w), B(d)});
+  if (order.ok()) {
+    int64_t o_id = (*order)[2].AsInt64();
+    int64_t ol_cnt = (*order)[6].AsInt64();
+    for (int64_t ol = 1; ol <= ol_cnt; ol++) {
+      auto line = db_->Get(*txn, "order_line", {B(w), B(d), B(o_id), B(ol)});
+      if (!line.ok() && !line.status().IsNotFound())
+        return fail(line.status());
+    }
+  } else if (!order.status().IsNotFound()) {
+    return fail(order.status());
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::StockLevel(Random* rng) {
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+
+  auto txn = db_->Begin("tpcc");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  auto district = db_->Get(*txn, "district", {B(w), B(d)});
+  if (!district.ok()) return fail(district.status());
+  for (int i = 0; i < 20; i++) {
+    int64_t i_id = rng->UniformRange(1, config_.items);
+    auto stock = db_->Get(*txn, "stock", {B(w), B(i_id)});
+    if (!stock.ok()) return fail(stock.status());
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpccWorkload::RunTransaction(Random* rng, TpccStats* stats) {
+  uint64_t roll = rng->Uniform(100);
+  Status st;
+  if (roll < 45) {
+    st = NewOrder(rng);
+    if (st.ok()) stats->new_orders++;
+  } else if (roll < 88) {
+    st = Payment(rng);
+    if (st.ok()) stats->payments++;
+  } else if (roll < 92) {
+    st = Delivery(rng);
+    if (st.ok()) stats->deliveries++;
+  } else if (roll < 96) {
+    st = OrderStatus(rng);
+    if (st.ok()) stats->order_status++;
+  } else {
+    st = StockLevel(rng);
+    if (st.ok()) stats->stock_level++;
+  }
+  if (st.ok()) {
+    stats->committed++;
+  } else if (st.IsAborted()) {
+    stats->aborted++;
+    return Status::OK();  // lock-timeout aborts are part of normal operation
+  }
+  return st;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,436 @@
+#include "workload/tpce.h"
+
+namespace sqlledger {
+
+namespace {
+Value B(int64_t v) { return Value::BigInt(v); }
+Value D(double v) { return Value::Double(v); }
+Value S(std::string v) { return Value::Varchar(std::move(v)); }
+
+/// Generic reference/dimension table: (id, name, value).
+Schema MakeDimensionSchema() {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("name", DataType::kVarchar, false, 32);
+  s.AddColumn("value", DataType::kVarchar, true, 64);
+  s.SetPrimaryKey({0});
+  return s;
+}
+}  // namespace
+
+Status TpceWorkload::Setup() {
+  TableKind kind = config_.ledger_tables ? TableKind::kUpdateable
+                                         : TableKind::kRegular;
+
+  // Entity tables with real columns. Creation order is the canonical lock
+  // order used by every transaction flow below.
+  Schema customer;
+  customer.AddColumn("c_id", DataType::kBigInt, false);
+  customer.AddColumn("c_name", DataType::kVarchar, false, 24);
+  customer.AddColumn("c_tier", DataType::kBigInt, false);
+  customer.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("customer", customer, kind));
+
+  Schema account;
+  account.AddColumn("ca_id", DataType::kBigInt, false);
+  account.AddColumn("ca_c_id", DataType::kBigInt, false);
+  account.AddColumn("ca_b_id", DataType::kBigInt, false);
+  account.AddColumn("ca_bal", DataType::kDouble, false);
+  account.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("customer_account", account, kind));
+
+  Schema broker;
+  broker.AddColumn("b_id", DataType::kBigInt, false);
+  broker.AddColumn("b_name", DataType::kVarchar, false, 24);
+  broker.AddColumn("b_num_trades", DataType::kBigInt, false);
+  broker.AddColumn("b_comm_total", DataType::kDouble, false);
+  broker.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("broker", broker, kind));
+
+  Schema security;
+  security.AddColumn("s_id", DataType::kBigInt, false);
+  security.AddColumn("s_symb", DataType::kVarchar, false, 8);
+  security.AddColumn("s_name", DataType::kVarchar, false, 32);
+  security.AddColumn("s_num_out", DataType::kBigInt, false);
+  security.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("security", security, kind));
+
+  Schema last_trade;
+  last_trade.AddColumn("lt_s_id", DataType::kBigInt, false);
+  last_trade.AddColumn("lt_price", DataType::kDouble, false);
+  last_trade.AddColumn("lt_vol", DataType::kBigInt, false);
+  last_trade.AddColumn("lt_dts", DataType::kTimestamp, false);
+  last_trade.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("last_trade", last_trade, kind));
+
+  Schema holding_summary;
+  holding_summary.AddColumn("hs_ca_id", DataType::kBigInt, false);
+  holding_summary.AddColumn("hs_s_id", DataType::kBigInt, false);
+  holding_summary.AddColumn("hs_qty", DataType::kBigInt, false);
+  holding_summary.SetPrimaryKey({0, 1});
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("holding_summary", holding_summary, kind));
+
+  Schema holding;
+  holding.AddColumn("h_ca_id", DataType::kBigInt, false);
+  holding.AddColumn("h_s_id", DataType::kBigInt, false);
+  holding.AddColumn("h_id", DataType::kBigInt, false);
+  holding.AddColumn("h_qty", DataType::kBigInt, false);
+  holding.AddColumn("h_price", DataType::kDouble, false);
+  holding.SetPrimaryKey({0, 1, 2});
+  SL_RETURN_IF_ERROR(db_->CreateTable("holding", holding, kind));
+
+  Schema holding_history;
+  holding_history.AddColumn("hh_h_id", DataType::kBigInt, false);
+  holding_history.AddColumn("hh_t_id", DataType::kBigInt, false);
+  holding_history.AddColumn("hh_qty", DataType::kBigInt, false);
+  holding_history.SetPrimaryKey({0, 1});
+  SL_RETURN_IF_ERROR(
+      db_->CreateTable("holding_history", holding_history, kind));
+
+  Schema trade;
+  trade.AddColumn("t_id", DataType::kBigInt, false);
+  trade.AddColumn("t_ca_id", DataType::kBigInt, false);
+  trade.AddColumn("t_s_id", DataType::kBigInt, false);
+  trade.AddColumn("t_qty", DataType::kBigInt, false);
+  trade.AddColumn("t_price", DataType::kDouble, false);
+  trade.AddColumn("t_is_buy", DataType::kBool, false);
+  trade.AddColumn("t_status", DataType::kVarchar, false, 4);
+  trade.AddColumn("t_dts", DataType::kTimestamp, false);
+  trade.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("trade", trade, kind));
+
+  Schema trade_history;
+  trade_history.AddColumn("th_t_id", DataType::kBigInt, false);
+  trade_history.AddColumn("th_st", DataType::kVarchar, false, 4);
+  trade_history.AddColumn("th_dts", DataType::kTimestamp, false);
+  trade_history.SetPrimaryKey({0, 1});
+  SL_RETURN_IF_ERROR(db_->CreateTable("trade_history", trade_history, kind));
+
+  Schema settlement;
+  settlement.AddColumn("se_t_id", DataType::kBigInt, false);
+  settlement.AddColumn("se_amt", DataType::kDouble, false);
+  settlement.AddColumn("se_dts", DataType::kTimestamp, false);
+  settlement.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("settlement", settlement, kind));
+
+  Schema cash_txn;
+  cash_txn.AddColumn("ct_t_id", DataType::kBigInt, false);
+  cash_txn.AddColumn("ct_amt", DataType::kDouble, false);
+  cash_txn.AddColumn("ct_dts", DataType::kTimestamp, false);
+  cash_txn.SetPrimaryKey({0});
+  SL_RETURN_IF_ERROR(db_->CreateTable("cash_transaction", cash_txn, kind));
+
+  // The remaining 21 reference/dimension tables of the 33-table schema.
+  static const char* kDimensionTables[] = {
+      "account_permission", "address",        "charge",
+      "commission_rate",    "company",        "company_competitor",
+      "customer_taxrate",   "daily_market",   "exchange",
+      "financial",          "industry",       "news_item",
+      "news_xref",          "sector",         "status_type",
+      "taxrate",            "trade_request",  "trade_type",
+      "watch_item",         "watch_list",     "zip_code"};
+  for (const char* name : kDimensionTables) {
+    SL_RETURN_IF_ERROR(db_->CreateTable(name, MakeDimensionSchema(), kind));
+  }
+
+  // Initial population.
+  Random rng(7);
+  auto txn = db_->Begin("loader");
+  if (!txn.ok()) return txn.status();
+  for (int c = 1; c <= config_.customers; c++) {
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "customer",
+        {B(c), S(rng.AlphaString(12)), B(rng.UniformRange(1, 3))}));
+    for (int a = 0; a < config_.accounts_per_customer; a++) {
+      int64_t ca_id = (c - 1) * config_.accounts_per_customer + a + 1;
+      SL_RETURN_IF_ERROR(db_->Insert(
+          *txn, "customer_account",
+          {B(ca_id), B(c), B(rng.UniformRange(1, config_.brokers)),
+           D(10000.0)}));
+    }
+  }
+  for (int b = 1; b <= config_.brokers; b++) {
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "broker", {B(b), S(rng.AlphaString(12)), B(0), D(0)}));
+  }
+  for (int s = 1; s <= config_.securities; s++) {
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "security",
+        {B(s), S("SYM" + std::to_string(s)), S(rng.AlphaString(20)),
+         B(1000000)}));
+    SL_RETURN_IF_ERROR(db_->Insert(
+        *txn, "last_trade",
+        {B(s), D(20.0 + static_cast<double>(rng.Uniform(8000)) / 100), B(0),
+         Value::Timestamp(db_->NowMicros())}));
+  }
+  for (const char* name : kDimensionTables) {
+    for (int64_t i = 1; i <= 5; i++) {
+      SL_RETURN_IF_ERROR(db_->Insert(
+          *txn, name, {B(i), S(rng.AlphaString(8)), S(rng.AlphaString(16))}));
+    }
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::TradeOrder(Random* rng) {
+  int64_t ca_id = rng->UniformRange(
+      1, config_.customers * config_.accounts_per_customer);
+  int64_t s_id = rng->UniformRange(1, config_.securities);
+  int64_t qty = rng->UniformRange(10, 500);
+  bool is_buy = rng->Bernoulli(0.5);
+
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  // Lock order: customer_account -> security -> last_trade -> trade ->
+  // trade_history.
+  auto account = db_->Get(*txn, "customer_account", {B(ca_id)});
+  if (!account.ok()) return fail(account.status());
+  auto security = db_->Get(*txn, "security", {B(s_id)});
+  if (!security.ok()) return fail(security.status());
+  auto quote = db_->Get(*txn, "last_trade", {B(s_id)});
+  if (!quote.ok()) return fail(quote.status());
+  double price = (*quote)[1].double_value();
+
+  int64_t t_id = next_trade_id_.fetch_add(1);
+  Status st = db_->Insert(
+      *txn, "trade",
+      {B(t_id), B(ca_id), B(s_id), B(qty), D(price), Value::Bool(is_buy),
+       S("SBMT"), Value::Timestamp(db_->NowMicros())});
+  if (!st.ok()) return fail(st);
+  st = db_->Insert(*txn, "trade_history",
+                   {B(t_id), S("SBMT"), Value::Timestamp(db_->NowMicros())});
+  if (!st.ok()) return fail(st);
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::TradeResult(Random* rng) {
+  // Complete the most recent submitted trade.
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+
+  int64_t t_id = rng->UniformRange(
+      1, std::max<int64_t>(1, next_trade_id_.load() - 1));
+  // Lock order: customer_account -> broker -> holding_summary -> holding ->
+  // trade -> trade_history -> settlement -> cash_transaction. Reads come
+  // first to discover the trade, so take the trade row by id.
+  auto trade = db_->Get(*txn, "trade", {B(t_id)});
+  if (!trade.ok()) {
+    db_->Abort(*txn);
+    return trade.status().IsNotFound() ? Status::OK() : trade.status();
+  }
+  if ((*trade)[6].string_value() != "SBMT") {
+    return db_->Commit(*txn);  // already completed
+  }
+  int64_t ca_id = (*trade)[1].AsInt64();
+  int64_t s_id = (*trade)[2].AsInt64();
+  int64_t qty = (*trade)[3].AsInt64();
+  double price = (*trade)[4].double_value();
+  bool is_buy = (*trade)[5].bool_value();
+  double amount = price * static_cast<double>(qty);
+
+  auto account = db_->Get(*txn, "customer_account", {B(ca_id)});
+  if (!account.ok()) return fail(account.status());
+  Row new_account = *account;
+  new_account[3] = D(new_account[3].double_value() +
+                     (is_buy ? -amount : amount));
+  Status st = db_->Update(*txn, "customer_account", new_account);
+  if (!st.ok()) return fail(st);
+
+  int64_t b_id = (*account)[2].AsInt64();
+  auto broker = db_->Get(*txn, "broker", {B(b_id)});
+  if (!broker.ok()) return fail(broker.status());
+  Row new_broker = *broker;
+  new_broker[2] = B(new_broker[2].AsInt64() + 1);
+  new_broker[3] = D(new_broker[3].double_value() + amount * 0.001);
+  st = db_->Update(*txn, "broker", new_broker);
+  if (!st.ok()) return fail(st);
+
+  auto summary = db_->Get(*txn, "holding_summary", {B(ca_id), B(s_id)});
+  int64_t delta = is_buy ? qty : -qty;
+  if (summary.ok()) {
+    Row new_summary = *summary;
+    new_summary[2] = B(new_summary[2].AsInt64() + delta);
+    st = db_->Update(*txn, "holding_summary", new_summary);
+  } else if (summary.status().IsNotFound()) {
+    st = db_->Insert(*txn, "holding_summary", {B(ca_id), B(s_id), B(delta)});
+  } else {
+    return fail(summary.status());
+  }
+  if (!st.ok()) return fail(st);
+
+  st = db_->Insert(*txn, "holding",
+                   {B(ca_id), B(s_id), B(next_holding_id_.fetch_add(1)),
+                    B(delta), D(price)});
+  if (!st.ok()) return fail(st);
+
+  Row new_trade = *trade;
+  new_trade[6] = S("CMPT");
+  st = db_->Update(*txn, "trade", new_trade);
+  if (!st.ok()) return fail(st);
+  st = db_->Insert(*txn, "trade_history",
+                   {B(t_id), S("CMPT"), Value::Timestamp(db_->NowMicros())});
+  if (!st.ok()) return fail(st);
+  st = db_->Insert(*txn, "settlement",
+                   {B(t_id), D(amount), Value::Timestamp(db_->NowMicros())});
+  if (!st.ok() && !st.IsAborted() &&
+      st.code() != StatusCode::kAlreadyExists)
+    return fail(st);
+  if (st.IsAborted()) return fail(st);
+  st = db_->Insert(*txn, "cash_transaction",
+                   {B(t_id), D(amount), Value::Timestamp(db_->NowMicros())});
+  if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return fail(st);
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::MarketFeed(Random* rng) {
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+  // Ticker batch: update the quote of up to 10 securities.
+  for (int i = 0; i < 10; i++) {
+    int64_t s_id = rng->UniformRange(1, config_.securities);
+    auto quote = db_->Get(*txn, "last_trade", {B(s_id)});
+    if (!quote.ok()) return fail(quote.status());
+    Row new_quote = *quote;
+    double move = (static_cast<double>(rng->Uniform(200)) - 100.0) / 100.0;
+    new_quote[1] = D(std::max(1.0, new_quote[1].double_value() + move));
+    new_quote[2] = B(new_quote[2].AsInt64() + rng->UniformRange(100, 1000));
+    new_quote[3] = Value::Timestamp(db_->NowMicros());
+    Status st = db_->Update(*txn, "last_trade", new_quote);
+    if (!st.ok()) return fail(st);
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::TradeStatus(Random* rng) {
+  // The real Trade-Status frame returns the 50 most recent trades of an
+  // account with their status history.
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  int64_t newest = std::max<int64_t>(1, next_trade_id_.load() - 1);
+  for (int i = 0; i < 50; i++) {
+    int64_t t_id = std::max<int64_t>(
+        1, newest - rng->UniformRange(0, std::min<int64_t>(newest, 200)));
+    auto trade = db_->Get(*txn, "trade", {B(t_id)});
+    if (trade.ok()) {
+      (void)db_->Get(*txn, "trade_history", {B(t_id), S("SBMT")});
+      (void)db_->Get(*txn, "trade_history", {B(t_id), S("CMPT")});
+    }
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::CustomerPosition(Random* rng) {
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+  // Customer-Position walks every account of the customer and prices each
+  // holding against the current quote.
+  int64_t c_id = rng->UniformRange(1, config_.customers);
+  auto customer = db_->Get(*txn, "customer", {B(c_id)});
+  if (!customer.ok()) return fail(customer.status());
+  for (int a = 0; a < config_.accounts_per_customer; a++) {
+    int64_t ca_id = (c_id - 1) * config_.accounts_per_customer + a + 1;
+    auto account = db_->Get(*txn, "customer_account", {B(ca_id)});
+    if (!account.ok()) return fail(account.status());
+    for (int64_t s = 1; s <= config_.securities; s++) {
+      auto summary = db_->Get(*txn, "holding_summary", {B(ca_id), B(s)});
+      if (!summary.ok()) continue;
+      auto quote = db_->Get(*txn, "last_trade", {B(s)});
+      if (!quote.ok()) return fail(quote.status());
+    }
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::MarketWatch(Random* rng) {
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+  // Market-Watch prices a whole watch list / industry segment.
+  for (int i = 0; i < 60; i++) {
+    int64_t s_id = rng->UniformRange(1, config_.securities);
+    auto security = db_->Get(*txn, "security", {B(s_id)});
+    if (!security.ok()) return fail(security.status());
+    auto quote = db_->Get(*txn, "last_trade", {B(s_id)});
+    if (!quote.ok()) return fail(quote.status());
+  }
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::SecurityDetail(Random* rng) {
+  auto txn = db_->Begin("tpce");
+  if (!txn.ok()) return txn.status();
+  auto fail = [&](Status st) {
+    db_->Abort(*txn);
+    return st;
+  };
+  // Security-Detail returns company info plus weeks of daily market data.
+  int64_t s_id = rng->UniformRange(1, config_.securities);
+  auto security = db_->Get(*txn, "security", {B(s_id)});
+  if (!security.ok()) return fail(security.status());
+  auto quote = db_->Get(*txn, "last_trade", {B(s_id)});
+  if (!quote.ok()) return fail(quote.status());
+  for (int i = 0; i < 30; i++) {
+    (void)db_->Get(*txn, "daily_market", {B(rng->UniformRange(1, 5))});
+    (void)db_->Get(*txn, "financial", {B(rng->UniformRange(1, 5))});
+  }
+  (void)db_->Get(*txn, "company", {B(rng->UniformRange(1, 5))});
+  (void)db_->Get(*txn, "exchange", {B(rng->UniformRange(1, 5))});
+  return db_->Commit(*txn);
+}
+
+Status TpceWorkload::RunTransaction(Random* rng, TpceStats* stats) {
+  uint64_t roll = rng->Uniform(100);
+  Status st;
+  if (roll < 10) {
+    st = TradeOrder(rng);
+    if (st.ok()) stats->trade_orders++;
+  } else if (roll < 20) {
+    st = TradeResult(rng);
+    if (st.ok()) stats->trade_results++;
+  } else if (roll < 23) {
+    st = MarketFeed(rng);
+    if (st.ok()) stats->market_feeds++;
+  } else if (roll < 42) {
+    st = TradeStatus(rng);
+    if (st.ok()) stats->reads++;
+  } else if (roll < 55) {
+    st = CustomerPosition(rng);
+    if (st.ok()) stats->reads++;
+  } else if (roll < 78) {
+    st = MarketWatch(rng);
+    if (st.ok()) stats->reads++;
+  } else {
+    st = SecurityDetail(rng);
+    if (st.ok()) stats->reads++;
+  }
+  if (st.ok()) {
+    stats->committed++;
+  } else if (st.IsAborted()) {
+    stats->aborted++;
+    return Status::OK();
+  }
+  return st;
+}
+
+}  // namespace sqlledger

@@ -1,0 +1,183 @@
+// B+-tree tests, including randomized property tests against std::map as
+// the model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage/btree.h"
+#include "util/random.h"
+
+namespace sqlledger {
+namespace {
+
+KeyTuple K(int64_t v) { return {Value::BigInt(v)}; }
+Row V(int64_t v) { return {Value::BigInt(v), Value::Varchar("v")}; }
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree(8);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Get(K(1)), nullptr);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertGetDelete) {
+  BTree tree(8);
+  ASSERT_TRUE(tree.Insert(K(1), V(10)).ok());
+  ASSERT_TRUE(tree.Insert(K(2), V(20)).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_NE(tree.Get(K(1)), nullptr);
+  EXPECT_EQ((*tree.Get(K(2)))[0].AsInt64(), 20);
+  EXPECT_TRUE(tree.Delete(K(1)).ok());
+  EXPECT_EQ(tree.Get(K(1)), nullptr);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicateInsertFails) {
+  BTree tree(8);
+  ASSERT_TRUE(tree.Insert(K(1), V(10)).ok());
+  EXPECT_EQ(tree.Insert(K(1), V(11)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ((*tree.Get(K(1)))[0].AsInt64(), 10);
+}
+
+TEST(BTreeTest, UpsertOverwrites) {
+  BTree tree(8);
+  tree.Upsert(K(1), V(10));
+  tree.Upsert(K(1), V(11));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ((*tree.Get(K(1)))[0].AsInt64(), 11);
+}
+
+TEST(BTreeTest, UpdateRequiresExisting) {
+  BTree tree(8);
+  EXPECT_TRUE(tree.Update(K(1), V(10)).IsNotFound());
+  tree.Upsert(K(1), V(10));
+  EXPECT_TRUE(tree.Update(K(1), V(99)).ok());
+  EXPECT_EQ((*tree.Get(K(1)))[0].AsInt64(), 99);
+}
+
+TEST(BTreeTest, DeleteMissingFails) {
+  BTree tree(8);
+  EXPECT_TRUE(tree.Delete(K(1)).IsNotFound());
+}
+
+TEST(BTreeTest, OrderedIterationAcrossSplits) {
+  BTree tree(4);  // small fanout forces deep trees
+  for (int64_t i = 999; i >= 0; i--) ASSERT_TRUE(tree.Insert(K(i), V(i)).ok());
+  int64_t expected = 0;
+  for (BTree::Iterator it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key()[0].AsInt64(), expected);
+    EXPECT_EQ(it.value()[0].AsInt64(), expected);
+    expected++;
+  }
+  EXPECT_EQ(expected, 1000);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, SeekFindsFirstAtOrAfter) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 100; i += 10) ASSERT_TRUE(tree.Insert(K(i), V(i)).ok());
+  BTree::Iterator it = tree.Seek(K(35));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt64(), 40);
+  it = tree.Seek(K(40));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt64(), 40);
+  it = tree.Seek(K(91));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, MutableGetEditsInPlace) {
+  BTree tree(4);
+  tree.Upsert(K(1), V(10));
+  Row* row = tree.MutableGet(K(1));
+  ASSERT_NE(row, nullptr);
+  row->push_back(Value::Int(7));
+  EXPECT_EQ(tree.Get(K(1))->size(), 3u);
+  EXPECT_EQ(tree.MutableGet(K(99)), nullptr);
+}
+
+TEST(BTreeTest, CompositeKeysOrderLexicographically) {
+  BTree tree(4);
+  for (int64_t a = 0; a < 5; a++) {
+    for (int64_t b = 0; b < 5; b++) {
+      ASSERT_TRUE(
+          tree.Insert({Value::BigInt(a), Value::BigInt(b)}, V(a * 10 + b))
+              .ok());
+    }
+  }
+  BTree::Iterator it = tree.Seek({Value::BigInt(2)});
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt64(), 2);
+  EXPECT_EQ(it.key()[1].AsInt64(), 0);
+}
+
+TEST(BTreeTest, DrainToEmptyAndRefill) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 200; i++) ASSERT_TRUE(tree.Insert(K(i), V(i)).ok());
+  for (int64_t i = 0; i < 200; i++) ASSERT_TRUE(tree.Delete(K(i)).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int64_t i = 0; i < 50; i++) ASSERT_TRUE(tree.Insert(K(i), V(i)).ok());
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+// Property test: random interleaved operations, compared against std::map.
+class BTreeFuzz : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BTreeFuzz, MatchesModel) {
+  auto [seed, fanout] = GetParam();
+  Random rng(static_cast<uint64_t>(seed));
+  BTree tree(static_cast<size_t>(fanout));
+  std::map<int64_t, int64_t> model;
+
+  for (int op = 0; op < 5000; op++) {
+    int64_t key = rng.UniformRange(0, 400);
+    uint64_t action = rng.Uniform(10);
+    if (action < 5) {
+      Status st = tree.Insert(K(key), V(key * 2));
+      if (model.count(key)) {
+        EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+      } else {
+        EXPECT_TRUE(st.ok());
+        model[key] = key * 2;
+      }
+    } else if (action < 8) {
+      Status st = tree.Delete(K(key));
+      if (model.count(key)) {
+        EXPECT_TRUE(st.ok());
+        model.erase(key);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    } else {
+      const Row* row = tree.Get(K(key));
+      if (model.count(key)) {
+        ASSERT_NE(row, nullptr);
+        EXPECT_EQ((*row)[0].AsInt64(), model[key]);
+      } else {
+        EXPECT_EQ(row, nullptr);
+      }
+    }
+  }
+
+  EXPECT_EQ(tree.size(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto mit = model.begin();
+  for (BTree::Iterator it = tree.Begin(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key()[0].AsInt64(), mit->first);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, BTreeFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(4, 8, 64)));
+
+}  // namespace
+}  // namespace sqlledger

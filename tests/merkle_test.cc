@@ -1,0 +1,176 @@
+// Merkle tree tests: streaming/materialized equivalence (the paper's
+// §3.2.1 algorithm), O(log N) space, savepoint snapshot/restore, and
+// inclusion proofs for every leaf at many tree sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/merkle.h"
+
+namespace sqlledger {
+namespace {
+
+std::vector<Hash256> MakeLeaves(uint64_t n) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    std::string data = "leaf-" + std::to_string(i);
+    leaves.push_back(MerkleLeafHash(Slice(data)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeRootIsZero) {
+  MerkleBuilder builder;
+  EXPECT_TRUE(builder.Root().IsZero());
+  MerkleTree tree({});
+  EXPECT_TRUE(tree.Root().IsZero());
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeafHash) {
+  Hash256 leaf = MerkleLeafHash(Slice(std::string("only")));
+  MerkleBuilder builder;
+  builder.AddLeafHash(leaf);
+  EXPECT_EQ(builder.Root(), leaf);
+}
+
+TEST(MerkleTest, LeafAndNodeHashesAreDomainSeparated) {
+  // H(0x00 || x) must differ from H(0x01 || x): a leaf can never be
+  // reinterpreted as an internal node.
+  std::string data(64, 'x');
+  Hash256 leaf = MerkleLeafHash(Slice(data));
+  Hash256 l, r;
+  std::memcpy(l.bytes.data(), data.data(), 32);
+  std::memcpy(r.bytes.data(), data.data() + 32, 32);
+  EXPECT_NE(leaf, MerkleNodeHash(l, r));
+}
+
+// The core property: the streaming builder computes exactly the
+// materialized tree's root for every size.
+class MerkleEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleEquivalence, StreamingMatchesMaterialized) {
+  uint64_t n = GetParam();
+  std::vector<Hash256> leaves = MakeLeaves(n);
+  MerkleBuilder builder;
+  for (const Hash256& leaf : leaves) builder.AddLeafHash(leaf);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(builder.Root(), tree.Root());
+  EXPECT_EQ(builder.leaf_count(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 63, 100, 127, 128, 255,
+                                           256, 1000));
+
+TEST(MerkleTest, SpaceIsLogarithmic) {
+  MerkleBuilder builder;
+  for (uint64_t i = 0; i < 100000; i++) {
+    std::string data = std::to_string(i);
+    builder.AddLeaf(Slice(data));
+    size_t bound =
+        static_cast<size_t>(std::log2(static_cast<double>(i + 1))) + 2;
+    ASSERT_LE(builder.pending_nodes(), bound) << "at leaf " << i;
+  }
+}
+
+TEST(MerkleTest, RootIsOrderSensitive) {
+  std::vector<Hash256> leaves = MakeLeaves(4);
+  MerkleBuilder a, b;
+  for (const Hash256& leaf : leaves) a.AddLeafHash(leaf);
+  std::swap(leaves[1], leaves[2]);
+  for (const Hash256& leaf : leaves) b.AddLeafHash(leaf);
+  EXPECT_NE(a.Root(), b.Root());
+}
+
+TEST(MerkleTest, RootCallDoesNotMutateBuilder) {
+  MerkleBuilder builder;
+  std::vector<Hash256> leaves = MakeLeaves(5);
+  for (const Hash256& leaf : leaves) builder.AddLeafHash(leaf);
+  Hash256 r1 = builder.Root();
+  Hash256 r2 = builder.Root();
+  EXPECT_EQ(r1, r2);
+  builder.AddLeafHash(MakeLeaves(6)[5]);
+  EXPECT_EQ(builder.Root(), MerkleTree(MakeLeaves(6)).Root());
+}
+
+TEST(MerkleTest, SavepointRestoreRewindsTree) {
+  std::vector<Hash256> leaves = MakeLeaves(10);
+  MerkleBuilder builder;
+  for (int i = 0; i < 6; i++) builder.AddLeafHash(leaves[i]);
+  Hash256 root_at_6 = builder.Root();
+  MerkleBuilderState state = builder.GetState();
+
+  for (int i = 6; i < 10; i++) builder.AddLeafHash(leaves[i]);
+  EXPECT_NE(builder.Root(), root_at_6);
+
+  builder.RestoreState(state);
+  EXPECT_EQ(builder.Root(), root_at_6);
+  EXPECT_EQ(builder.leaf_count(), 6u);
+
+  // Re-appending the same suffix reproduces the full tree.
+  for (int i = 6; i < 10; i++) builder.AddLeafHash(leaves[i]);
+  EXPECT_EQ(builder.Root(), MerkleTree(leaves).Root());
+}
+
+class MerkleProofAllLeaves : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleProofAllLeaves, EveryLeafProves) {
+  uint64_t n = GetParam();
+  std::vector<Hash256> leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  Hash256 root = tree.Root();
+  for (uint64_t i = 0; i < n; i++) {
+    MerkleProof proof = tree.Prove(i);
+    EXPECT_TRUE(MerkleTree::VerifyProof(leaves[i], proof, root))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofAllLeaves,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 12, 16, 33, 100));
+
+TEST(MerkleProofTest, WrongLeafFailsProof) {
+  std::vector<Hash256> leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(3);
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[4], proof, tree.Root()));
+}
+
+TEST(MerkleProofTest, TamperedSiblingFailsProof) {
+  std::vector<Hash256> leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(3);
+  proof.steps[0].sibling.bytes[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[3], proof, tree.Root()));
+}
+
+TEST(MerkleProofTest, WrongRootFailsProof) {
+  std::vector<Hash256> leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(0);
+  Hash256 wrong = tree.Root();
+  wrong.bytes[31] ^= 1;
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[0], proof, wrong));
+}
+
+TEST(MerkleProofTest, OutOfRangeIndexRejected) {
+  std::vector<Hash256> leaves = MakeLeaves(4);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(0);
+  proof.leaf_index = 4;  // == leaf_count
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[0], proof, tree.Root()));
+  proof.leaf_count = 0;
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[0], proof, tree.Root()));
+}
+
+TEST(MerkleProofTest, ProofSizeIsLogarithmic) {
+  std::vector<Hash256> leaves = MakeLeaves(1024);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.Prove(0).steps.size(), 10u);  // 2^10 leaves
+}
+
+}  // namespace
+}  // namespace sqlledger

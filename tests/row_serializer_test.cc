@@ -1,0 +1,147 @@
+// Canonical row serialization tests, including the paper's metadata-attack
+// examples: the §3.2 INT/SMALLINT type swap and the §3.5.1 NULL-ordinal
+// attack must both change the hash.
+
+#include <gtest/gtest.h>
+
+#include "ledger/row_serializer.h"
+
+namespace sqlledger {
+namespace {
+
+Schema TwoIntSchema(DataType t1, DataType t2) {
+  Schema s;
+  s.AddColumn("Column1", t1, true);
+  s.AddColumn("Column2", t2, true);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+TEST(RowSerializerTest, Deterministic) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kSmallInt);
+  Row row{Value::Int(0x12), Value::SmallInt(0x34)};
+  auto a = SerializeRowVersion(s, row, RowOp::kInsert, 100, 7, 3);
+  auto b = SerializeRowVersion(s, row, RowOp::kInsert, 100, 7, 3);
+  EXPECT_EQ(a, b);
+}
+
+// The paper's §3.2 example: declaring Column1 SMALLINT and Column2 INT must
+// produce a different serialization even though a metadata-free format
+// would emit identical value bytes.
+TEST(RowSerializerTest, TypeSwapAttackChangesHash) {
+  Schema honest = TwoIntSchema(DataType::kInt, DataType::kSmallInt);
+  Row honest_row{Value::Int(0x12), Value::SmallInt(0x34)};
+
+  Schema tampered = TwoIntSchema(DataType::kSmallInt, DataType::kInt);
+  Row tampered_row{Value::SmallInt(0x12), Value::Int(0x34)};
+
+  EXPECT_NE(
+      RowVersionLeafHash(honest, honest_row, RowOp::kInsert, 100, 7, 3),
+      RowVersionLeafHash(tampered, tampered_row, RowOp::kInsert, 100, 7, 3));
+}
+
+// §3.5.1: moving a value to a different column (NULL-map manipulation) must
+// change the hash because non-NULL column ids are explicit.
+TEST(RowSerializerTest, NullOrdinalAttackChangesHash) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row_a{Value::Int(5), Value::Null(DataType::kInt)};
+  Row row_b{Value::Null(DataType::kInt), Value::Int(5)};
+  EXPECT_NE(RowVersionLeafHash(s, row_a, RowOp::kInsert, 100, 7, 3),
+            RowVersionLeafHash(s, row_b, RowOp::kInsert, 100, 7, 3));
+}
+
+TEST(RowSerializerTest, NullsDoNotContribute) {
+  // Adding a trailing NULL column must not change the serialization —
+  // the property AddColumn (§3.5.1) depends on.
+  Schema before = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row_before{Value::Int(1), Value::Int(2)};
+  auto bytes_before =
+      SerializeRowVersion(before, row_before, RowOp::kInsert, 100, 7, 3);
+
+  Schema after = before;
+  after.AddColumn("new_col", DataType::kVarchar, true);
+  Row row_after{Value::Int(1), Value::Int(2), Value::Null(DataType::kVarchar)};
+  auto bytes_after =
+      SerializeRowVersion(after, row_after, RowOp::kInsert, 100, 7, 3);
+
+  EXPECT_EQ(bytes_before, bytes_after);
+}
+
+TEST(RowSerializerTest, OpTypeDistinguishesLeaves) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row{Value::Int(1), Value::Int(2)};
+  EXPECT_NE(RowVersionLeafHash(s, row, RowOp::kInsert, 100, 7, 3),
+            RowVersionLeafHash(s, row, RowOp::kDelete, 100, 7, 3));
+}
+
+TEST(RowSerializerTest, IdentityFieldsDistinguishLeaves) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row{Value::Int(1), Value::Int(2)};
+  Hash256 base = RowVersionLeafHash(s, row, RowOp::kInsert, 100, 7, 3);
+  EXPECT_NE(base, RowVersionLeafHash(s, row, RowOp::kInsert, 101, 7, 3));
+  EXPECT_NE(base, RowVersionLeafHash(s, row, RowOp::kInsert, 100, 8, 3));
+  EXPECT_NE(base, RowVersionLeafHash(s, row, RowOp::kInsert, 100, 7, 4));
+}
+
+TEST(RowSerializerTest, HiddenColumnsExcluded) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row{Value::Int(1), Value::Int(2)};
+  auto without = SerializeRowVersion(s, row, RowOp::kInsert, 100, 7, 3);
+
+  Schema with_hidden = s;
+  with_hidden.AddColumn("sys", DataType::kBigInt, true, 0, /*hidden=*/true);
+  Row row_hidden{Value::Int(1), Value::Int(2), Value::BigInt(999)};
+  auto with = SerializeRowVersion(with_hidden, row_hidden, RowOp::kInsert,
+                                  100, 7, 3);
+  EXPECT_EQ(without, with);
+}
+
+TEST(RowSerializerTest, DroppedColumnValuesStillSerialize) {
+  // Historical versions carry values in logically dropped columns; those
+  // values must keep contributing to the hash so old roots keep verifying.
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  Row row{Value::Int(1), Value::Int(2)};
+  auto before = SerializeRowVersion(s, row, RowOp::kInsert, 100, 7, 3);
+
+  Schema dropped = s;
+  dropped.mutable_column(1)->dropped = true;
+  auto after = SerializeRowVersion(dropped, row, RowOp::kInsert, 100, 7, 3);
+  EXPECT_EQ(before, after);
+}
+
+TEST(RowSerializerTest, ValueChangesChangeHash) {
+  Schema s = TwoIntSchema(DataType::kInt, DataType::kInt);
+  EXPECT_NE(RowVersionLeafHash(s, {Value::Int(1), Value::Int(2)},
+                               RowOp::kInsert, 100, 7, 3),
+            RowVersionLeafHash(s, {Value::Int(1), Value::Int(3)},
+                               RowOp::kInsert, 100, 7, 3));
+}
+
+TEST(RowSerializerTest, AllValueTypesSerialize) {
+  Schema s;
+  s.AddColumn("b", DataType::kBool, true);
+  s.AddColumn("si", DataType::kSmallInt, true);
+  s.AddColumn("i", DataType::kInt, true);
+  s.AddColumn("bi", DataType::kBigInt, true);
+  s.AddColumn("d", DataType::kDouble, true);
+  s.AddColumn("v", DataType::kVarchar, true);
+  s.AddColumn("vb", DataType::kVarbinary, true);
+  s.AddColumn("ts", DataType::kTimestamp, true);
+  s.SetPrimaryKey({0});
+  Row row{Value::Bool(true),    Value::SmallInt(-2), Value::Int(3),
+          Value::BigInt(-4),    Value::Double(5.5),  Value::Varchar("six"),
+          Value::Varbinary({7}), Value::Timestamp(8)};
+  auto bytes = SerializeRowVersion(s, row, RowOp::kInsert, 1, 2, 3);
+  EXPECT_GT(bytes.size(), 8u * 3);  // header + 8 columns with metadata
+
+  // Varchar "six" and Varbinary {'s','i','x'} at the same ordinal must
+  // differ via the type byte.
+  Schema s2 = s;
+  s2.mutable_column(5)->type = DataType::kVarbinary;
+  Row row2 = row;
+  row2[5] = Value::Varbinary({'s', 'i', 'x'});
+  EXPECT_NE(bytes, SerializeRowVersion(s2, row2, RowOp::kInsert, 1, 2, 3));
+}
+
+}  // namespace
+}  // namespace sqlledger

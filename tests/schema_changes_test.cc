@@ -1,0 +1,225 @@
+// Schema evolution tests (paper §3.5): add nullable column, drop column,
+// drop table (rename + hide), alter column type — all while keeping the
+// ledger verifiable.
+
+#include <gtest/gtest.h>
+
+#include "ledger/verifier.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace {
+
+Value VB(int64_t v) { return Value::BigInt(v); }
+Value VS(const std::string& s) { return Value::Varchar(s); }
+
+class SchemaChangesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenTestDb(/*block_size=*/100);
+    ASSERT_TRUE(db_->CreateTable("accounts", AccountSchema(),
+                                 TableKind::kUpdateable)
+                    .ok());
+    for (int i = 0; i < 5; i++) {
+      auto txn = db_->Begin("app");
+      ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                              {VS("acct" + std::to_string(i)), VB(i * 10)})
+                      .ok());
+      ASSERT_TRUE(db_->Commit(*txn).ok());
+    }
+  }
+
+  void ExpectVerifies() {
+    auto digest = db_->GenerateDigest();
+    ASSERT_TRUE(digest.ok());
+    auto report = VerifyLedger(db_.get(), {*digest});
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << report->Summary();
+  }
+
+  std::unique_ptr<LedgerDatabase> db_;
+};
+
+TEST_F(SchemaChangesTest, AddColumnKeepsOldHashesValid) {
+  auto digest_before = db_->GenerateDigest();
+  ASSERT_TRUE(digest_before.ok());
+  ASSERT_TRUE(
+      db_->AddColumn("accounts", "email", DataType::kVarchar, 64).ok());
+
+  // Old digest still verifies: NULLs in the new column do not contribute.
+  auto report = VerifyLedger(db_.get(), {*digest_before});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+
+  // New rows can populate the column; everything still verifies.
+  auto txn = db_->Begin("app");
+  ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                          {VS("withmail"), VB(1), VS("a@b.c")})
+                  .ok());
+  ASSERT_TRUE(
+      db_->Update(*txn, "accounts", {VS("acct0"), VB(0), VS("x@y.z")}).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  ExpectVerifies();
+
+  // Reads expose the new column.
+  auto txn2 = db_->Begin("app");
+  auto row = db_->Get(*txn2, "accounts", {VS("acct1")});
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->size(), 3u);
+  EXPECT_TRUE((*row)[2].is_null());
+  ASSERT_TRUE(db_->Commit(*txn2).ok());
+}
+
+TEST_F(SchemaChangesTest, AddColumnRejectsDuplicates) {
+  ASSERT_TRUE(db_->AddColumn("accounts", "email", DataType::kVarchar).ok());
+  EXPECT_EQ(db_->AddColumn("accounts", "email", DataType::kVarchar).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(
+      db_->AddColumn("missing", "x", DataType::kInt).IsNotFound());
+}
+
+TEST_F(SchemaChangesTest, DropColumnHidesButKeepsData) {
+  ASSERT_TRUE(db_->AddColumn("accounts", "note", DataType::kVarchar).ok());
+  auto txn = db_->Begin("app");
+  ASSERT_TRUE(
+      db_->Update(*txn, "accounts", {VS("acct0"), VB(0), VS("secret")}).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+
+  ASSERT_TRUE(db_->DropColumn("accounts", "note").ok());
+
+  // Invisible to the application...
+  auto txn2 = db_->Begin("app");
+  auto row = db_->Get(*txn2, "accounts", {VS("acct0")});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 2u);
+  // ...but new inserts work, and the historical hash of the version that
+  // carried "secret" still verifies (the dropped value still serializes).
+  ASSERT_TRUE(db_->Insert(*txn2, "accounts", {VS("new"), VB(9)}).ok());
+  ASSERT_TRUE(db_->Commit(*txn2).ok());
+  ExpectVerifies();
+}
+
+TEST_F(SchemaChangesTest, DropColumnRestrictions) {
+  EXPECT_EQ(db_->DropColumn("accounts", "name").code(),
+            StatusCode::kInvalidArgument);  // primary key
+  EXPECT_TRUE(db_->DropColumn("accounts", "nope").IsNotFound());
+}
+
+TEST_F(SchemaChangesTest, ReAddColumnAfterDropGetsFreshColumnId) {
+  ASSERT_TRUE(db_->AddColumn("accounts", "tag", DataType::kInt).ok());
+  ASSERT_TRUE(db_->DropColumn("accounts", "tag").ok());
+  ASSERT_TRUE(db_->AddColumn("accounts", "tag", DataType::kInt).ok());
+  auto ref = db_->GetTableRef("accounts");
+  // Two physical columns named "tag": one dropped, one live, distinct ids.
+  int live = ref->main->schema().FindColumn("tag");
+  ASSERT_GE(live, 0);
+  int dropped_count = 0;
+  for (const ColumnDef& col : ref->main->schema().columns()) {
+    if (col.name == "tag" && col.dropped) dropped_count++;
+  }
+  EXPECT_EQ(dropped_count, 1);
+  ExpectVerifies();
+}
+
+TEST_F(SchemaChangesTest, DropTableRenamesAndStaysVerifiable) {
+  ASSERT_TRUE(db_->DropTable("accounts").ok());
+  EXPECT_TRUE(db_->GetTableRef("accounts").status().IsNotFound());
+
+  // The dropped table's data is still verified (by object id).
+  ExpectVerifies();
+
+  // A new table with the same name gets a new id (Figure 6 scenario).
+  ASSERT_TRUE(db_->CreateTable("accounts", AccountSchema(),
+                               TableKind::kUpdateable)
+                  .ok());
+  auto ops = db_->GetTableOperationsView();
+  ASSERT_TRUE(ops.ok());
+  int creates = 0, drops = 0;
+  for (const TableOperationRow& op : *ops) {
+    if (op.operation == "CREATE" && op.table_name == "accounts") creates++;
+    if (op.operation == "DROP") drops++;
+  }
+  EXPECT_EQ(creates, 2);
+  EXPECT_EQ(drops, 1);
+  ExpectVerifies();
+}
+
+TEST_F(SchemaChangesTest, DropTableStillDetectsTampering) {
+  ASSERT_TRUE(db_->DropTable("accounts").ok());
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+
+  // Tampering with a dropped table's data must still be detected.
+  for (CatalogEntry* entry : db_->AllTables()) {
+    if (entry->name.rfind("DroppedTable_accounts", 0) == 0) {
+      Row* row = entry->main->mutable_clustered()->MutableGet({VS("acct2")});
+      ASSERT_NE(row, nullptr);
+      (*row)[1] = VB(777777);
+    }
+  }
+  auto report = VerifyLedger(db_.get(), {*digest});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST_F(SchemaChangesTest, AlterColumnTypeConvertsAndVerifies) {
+  ASSERT_TRUE(
+      db_->AlterColumnType("accounts", "balance", DataType::kVarchar).ok());
+
+  auto txn = db_->Begin("app");
+  auto row = db_->Get(*txn, "accounts", {VS("acct3")});
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->size(), 2u);
+  EXPECT_EQ((*row)[1].type(), DataType::kVarchar);
+  EXPECT_EQ((*row)[1].string_value(), "30");
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+
+  // Every converted version was hashed through the ledger: verify.
+  ExpectVerifies();
+
+  // History holds the pre-conversion versions (one per row).
+  auto ref = db_->GetTableRef("accounts");
+  EXPECT_GE(ref->history->row_count(), 5u);
+}
+
+TEST_F(SchemaChangesTest, AlterColumnTypeNoOpWhenSame) {
+  ASSERT_TRUE(
+      db_->AlterColumnType("accounts", "balance", DataType::kBigInt).ok());
+  auto ref = db_->GetTableRef("accounts");
+  EXPECT_EQ(ref->history->row_count(), 0u);  // nothing converted
+}
+
+TEST_F(SchemaChangesTest, AlterColumnTypeRestrictions) {
+  EXPECT_EQ(db_->AlterColumnType("accounts", "name", DataType::kInt).code(),
+            StatusCode::kInvalidArgument);  // primary key
+  EXPECT_TRUE(
+      db_->AlterColumnType("accounts", "nope", DataType::kInt).IsNotFound());
+}
+
+TEST_F(SchemaChangesTest, IndexLifecycle) {
+  ASSERT_TRUE(
+      db_->CreateIndex("accounts", "by_balance", {"balance"}, false).ok());
+  EXPECT_EQ(
+      db_->CreateIndex("accounts", "by_balance", {"balance"}, false).code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_TRUE(
+      db_->CreateIndex("accounts", "bad", {"nope"}, false).IsNotFound());
+  ExpectVerifies();
+  ASSERT_TRUE(db_->DropIndex("accounts", "by_balance").ok());
+  EXPECT_TRUE(db_->DropIndex("accounts", "by_balance").IsNotFound());
+  ExpectVerifies();
+}
+
+TEST_F(SchemaChangesTest, ColumnMetadataRecordedInLedger) {
+  ASSERT_TRUE(db_->AddColumn("accounts", "email", DataType::kVarchar).ok());
+  auto view = db_->GetLedgerView("sys_ledger_columns");
+  ASSERT_TRUE(view.ok());
+  bool found = false;
+  for (const LedgerViewRow& row : *view) {
+    if (row.values[2].string_value() == "email") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sqlledger

@@ -1,0 +1,156 @@
+// TableStore unit tests: secondary index maintenance across DML, unique
+// constraints, index builds on populated tables, and ExtendRows.
+
+#include <gtest/gtest.h>
+
+#include "storage/table_store.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace {
+
+Value VB(int64_t v) { return Value::BigInt(v); }
+Value VS(const std::string& s) { return Value::Varchar(s); }
+
+Schema ThreeColSchema() {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("name", DataType::kVarchar, true, 32);
+  s.AddColumn("score", DataType::kBigInt, true);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+TEST(TableStoreTest, InsertGetDelete) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.Insert({VB(1), VS("a"), VB(10)}).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+  const Row* row = t.Get({VB(1)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].string_value(), "a");
+  EXPECT_TRUE(t.Delete({VB(1)}).ok());
+  EXPECT_EQ(t.Get({VB(1)}), nullptr);
+  EXPECT_TRUE(t.Delete({VB(1)}).IsNotFound());
+}
+
+TEST(TableStoreTest, ValidatesRows) {
+  TableStore t(100, "t", ThreeColSchema());
+  EXPECT_FALSE(t.Insert({VB(1), VS("a")}).ok());                    // arity
+  EXPECT_FALSE(t.Insert({VS("x"), VS("a"), VB(1)}).ok());           // type
+  EXPECT_FALSE(
+      t.Insert({Value::Null(DataType::kBigInt), VS("a"), VB(1)}).ok());
+  EXPECT_FALSE(
+      t.Insert({VB(1), VS(std::string(40, 'x')), VB(1)}).ok());     // length
+}
+
+TEST(TableStoreTest, DuplicatePrimaryKeyRejectedAtomically) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_score", {2}, false).ok());
+  ASSERT_TRUE(t.Insert({VB(1), VS("a"), VB(10)}).ok());
+  EXPECT_EQ(t.Insert({VB(1), VS("b"), VB(20)}).code(),
+            StatusCode::kAlreadyExists);
+  // The failed insert must not have leaked an index entry.
+  EXPECT_EQ(t.FindIndex("by_score")->tree.size(), 1u);
+}
+
+TEST(TableStoreTest, SecondaryIndexFollowsUpdates) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_score", {2}, false).ok());
+  ASSERT_TRUE(t.Insert({VB(1), VS("a"), VB(10)}).ok());
+  ASSERT_TRUE(t.Insert({VB(2), VS("b"), VB(20)}).ok());
+
+  ASSERT_TRUE(t.Update({VB(1), VS("a"), VB(99)}).ok());
+  SecondaryIndex* idx = t.FindIndex("by_score");
+  ASSERT_EQ(idx->tree.size(), 2u);
+  // First index entry by score should now be 20 (the old 10 is gone).
+  BTree::Iterator it = idx->tree.Begin();
+  EXPECT_EQ(it.key()[0].AsInt64(), 20);
+  it.Next();
+  EXPECT_EQ(it.key()[0].AsInt64(), 99);
+
+  ASSERT_TRUE(t.Delete({VB(2)}).ok());
+  EXPECT_EQ(idx->tree.size(), 1u);
+}
+
+TEST(TableStoreTest, NonUniqueIndexAllowsDuplicateValues) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_score", {2}, false).ok());
+  ASSERT_TRUE(t.Insert({VB(1), VS("a"), VB(10)}).ok());
+  ASSERT_TRUE(t.Insert({VB(2), VS("b"), VB(10)}).ok());
+  EXPECT_EQ(t.FindIndex("by_score")->tree.size(), 2u);
+}
+
+TEST(TableStoreTest, UniqueIndexEnforced) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.CreateIndex("uniq_name", {1}, true).ok());
+  ASSERT_TRUE(t.Insert({VB(1), VS("alice"), VB(10)}).ok());
+  EXPECT_EQ(t.Insert({VB(2), VS("alice"), VB(20)}).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(t.Insert({VB(2), VS("bob"), VB(20)}).ok());
+}
+
+TEST(TableStoreTest, UniqueIndexBuildFailsOnDuplicates) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.Insert({VB(1), VS("dup"), VB(10)}).ok());
+  ASSERT_TRUE(t.Insert({VB(2), VS("dup"), VB(20)}).ok());
+  EXPECT_FALSE(t.CreateIndex("uniq_name", {1}, true).ok());
+}
+
+TEST(TableStoreTest, IndexBuildOnPopulatedTable) {
+  TableStore t(100, "t", ThreeColSchema());
+  for (int64_t i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        t.Insert({VB(i), VS("n" + std::to_string(i)), VB(i % 7)}).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("by_score", {2}, false).ok());
+  EXPECT_EQ(t.FindIndex("by_score")->tree.size(), 100u);
+  // Entries are ordered by (score, pk).
+  int64_t prev_score = -1;
+  for (BTree::Iterator it = t.FindIndex("by_score")->tree.Begin(); it.Valid();
+       it.Next()) {
+    EXPECT_GE(it.key()[0].AsInt64(), prev_score);
+    prev_score = it.key()[0].AsInt64();
+  }
+}
+
+TEST(TableStoreTest, DropIndex) {
+  TableStore t(100, "t", ThreeColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_score", {2}, false).ok());
+  ASSERT_TRUE(t.DropIndex("by_score").ok());
+  EXPECT_EQ(t.FindIndex("by_score"), nullptr);
+  EXPECT_TRUE(t.DropIndex("by_score").IsNotFound());
+}
+
+TEST(TableStoreTest, IndexOrdinalOutOfRangeRejected) {
+  TableStore t(100, "t", ThreeColSchema());
+  EXPECT_FALSE(t.CreateIndex("bad", {17}, false).ok());
+}
+
+TEST(TableStoreTest, ExtendRowsAppendsCell) {
+  TableStore t(100, "t", ThreeColSchema());
+  for (int64_t i = 0; i < 10; i++)
+    ASSERT_TRUE(t.Insert({VB(i), VS("x"), VB(i)}).ok());
+  t.mutable_schema()->AddColumn("extra", DataType::kInt, true);
+  t.ExtendRows(Value::Null(DataType::kInt));
+  for (BTree::Iterator it = t.Scan(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.value().size(), 4u);
+    EXPECT_TRUE(it.value()[3].is_null());
+  }
+  // New inserts with the new arity validate.
+  ASSERT_TRUE(t.Insert({VB(100), VS("y"), VB(1), Value::Int(5)}).ok());
+}
+
+TEST(TableStoreTest, ScanAndSeek) {
+  TableStore t(100, "t", ThreeColSchema());
+  for (int64_t i = 0; i < 50; i += 5)
+    ASSERT_TRUE(t.Insert({VB(i), VS("x"), VB(i)}).ok());
+  BTree::Iterator it = t.Seek({VB(12)});
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt64(), 15);
+  size_t count = 0;
+  for (BTree::Iterator scan = t.Scan(); scan.Valid(); scan.Next()) count++;
+  EXPECT_EQ(count, 10u);
+}
+
+}  // namespace
+}  // namespace sqlledger

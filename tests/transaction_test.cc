@@ -1,0 +1,267 @@
+// Transaction layer tests: undo on abort, savepoints with Merkle state
+// restore (paper §3.2.1), sequence numbering, and the lock manager.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/table_store.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace {
+
+TableStore MakeStore() { return TableStore(100, "t", SimpleUserSchema()); }
+
+Row R(int64_t id, const std::string& payload) {
+  return {Value::BigInt(id), Value::Varchar(payload)};
+}
+KeyTuple K(int64_t id) { return {Value::BigInt(id)}; }
+
+TEST(TransactionTest, SequenceNumbersAreMonotonic) {
+  Transaction txn(1, "u");
+  EXPECT_EQ(txn.NextSequence(), 0u);
+  EXPECT_EQ(txn.NextSequence(), 1u);
+  EXPECT_EQ(txn.sequence_count(), 2u);
+}
+
+TEST(TransactionTest, AbortUndoesInsert) {
+  TableStore store = MakeStore();
+  Transaction txn(1, "u");
+  ASSERT_TRUE(store.Insert(R(1, "a")).ok());
+  txn.RecordInsert(&store, K(1), R(1, "a"));
+  txn.Abort();
+  EXPECT_EQ(store.Get(K(1)), nullptr);
+  EXPECT_EQ(txn.state(), Transaction::State::kAborted);
+}
+
+TEST(TransactionTest, AbortUndoesUpdateAndDelete) {
+  TableStore store = MakeStore();
+  ASSERT_TRUE(store.Insert(R(1, "old")).ok());
+  ASSERT_TRUE(store.Insert(R(2, "gone")).ok());
+
+  Transaction txn(1, "u");
+  Row old1 = *store.Get(K(1));
+  ASSERT_TRUE(store.Update(R(1, "new")).ok());
+  txn.RecordUpdate(&store, K(1), old1, R(1, "new"));
+
+  Row old2 = *store.Get(K(2));
+  ASSERT_TRUE(store.Delete(K(2)).ok());
+  txn.RecordDelete(&store, K(2), old2);
+
+  txn.Abort();
+  EXPECT_EQ((*store.Get(K(1)))[1].string_value(), "old");
+  ASSERT_NE(store.Get(K(2)), nullptr);
+  EXPECT_EQ((*store.Get(K(2)))[1].string_value(), "gone");
+}
+
+TEST(TransactionTest, AbortIsIdempotent) {
+  TableStore store = MakeStore();
+  Transaction txn(1, "u");
+  ASSERT_TRUE(store.Insert(R(1, "a")).ok());
+  txn.RecordInsert(&store, K(1), R(1, "a"));
+  txn.Abort();
+  txn.Abort();  // no double-undo
+  EXPECT_EQ(store.Get(K(1)), nullptr);
+}
+
+TEST(TransactionTest, SavepointRollbackUndoesTail) {
+  TableStore store = MakeStore();
+  Transaction txn(1, "u");
+
+  ASSERT_TRUE(store.Insert(R(1, "a")).ok());
+  txn.RecordInsert(&store, K(1), R(1, "a"));
+  ASSERT_TRUE(txn.CreateSavepoint("sp").ok());
+
+  ASSERT_TRUE(store.Insert(R(2, "b")).ok());
+  txn.RecordInsert(&store, K(2), R(2, "b"));
+
+  ASSERT_TRUE(txn.RollbackToSavepoint("sp").ok());
+  EXPECT_NE(store.Get(K(1)), nullptr);
+  EXPECT_EQ(store.Get(K(2)), nullptr);
+  EXPECT_TRUE(txn.active());
+  EXPECT_EQ(txn.ops().size(), 1u);
+}
+
+TEST(TransactionTest, SavepointRestoresMerkleAndSequence) {
+  Transaction txn(1, "u");
+  MerkleBuilder* merkle = txn.MerkleForTable(100);
+  merkle->AddLeaf(Slice(std::string("v1")));
+  uint64_t seq_before = txn.NextSequence();
+  Hash256 root_before = merkle->Root();
+  ASSERT_TRUE(txn.CreateSavepoint("sp").ok());
+
+  txn.MerkleForTable(100)->AddLeaf(Slice(std::string("v2")));
+  txn.MerkleForTable(200)->AddLeaf(Slice(std::string("other")));
+  txn.NextSequence();
+  txn.NextSequence();
+
+  ASSERT_TRUE(txn.RollbackToSavepoint("sp").ok());
+  EXPECT_EQ(txn.MerkleForTable(100)->Root(), root_before);
+  EXPECT_EQ(txn.NextSequence(), seq_before + 1);
+  // Table 200 was first touched after the savepoint: its tree is gone.
+  EXPECT_EQ(txn.TableRoots().size(), 1u);
+}
+
+TEST(TransactionTest, NestedSavepoints) {
+  TableStore store = MakeStore();
+  Transaction txn(1, "u");
+
+  ASSERT_TRUE(txn.CreateSavepoint("outer").ok());
+  ASSERT_TRUE(store.Insert(R(1, "a")).ok());
+  txn.RecordInsert(&store, K(1), R(1, "a"));
+  ASSERT_TRUE(txn.CreateSavepoint("inner").ok());
+  ASSERT_TRUE(store.Insert(R(2, "b")).ok());
+  txn.RecordInsert(&store, K(2), R(2, "b"));
+
+  ASSERT_TRUE(txn.RollbackToSavepoint("inner").ok());
+  EXPECT_EQ(store.Get(K(2)), nullptr);
+  EXPECT_NE(store.Get(K(1)), nullptr);
+
+  // Rolling back to "inner" again still works (savepoint survives).
+  ASSERT_TRUE(txn.RollbackToSavepoint("inner").ok());
+
+  ASSERT_TRUE(txn.RollbackToSavepoint("outer").ok());
+  EXPECT_EQ(store.Get(K(1)), nullptr);
+  // "inner" was discarded by the outer rollback.
+  EXPECT_TRUE(txn.RollbackToSavepoint("inner").IsNotFound());
+}
+
+TEST(TransactionTest, UnknownSavepointIsNotFound) {
+  Transaction txn(1, "u");
+  EXPECT_TRUE(txn.RollbackToSavepoint("nope").IsNotFound());
+}
+
+TEST(TransactionTest, TableRootsSortedByTableId) {
+  Transaction txn(1, "u");
+  txn.MerkleForTable(300)->AddLeaf(Slice(std::string("c")));
+  txn.MerkleForTable(100)->AddLeaf(Slice(std::string("a")));
+  txn.MerkleForTable(200)->AddLeaf(Slice(std::string("b")));
+  auto roots = txn.TableRoots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_EQ(roots[0].first, 100u);
+  EXPECT_EQ(roots[1].first, 200u);
+  EXPECT_EQ(roots[2].first, 300u);
+}
+
+KeyTuple RowKey(int64_t v) { return {Value::BigInt(v)}; }
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kShared).ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kShared).IsAborted());
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kExclusive).IsAborted());
+  EXPECT_TRUE(
+      locks.AcquireTable(2, 10, LockMode::kIntentionShared).IsAborted());
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kExclusive).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kShared).ok());  // subsumed
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kShared).IsAborted());
+  locks.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).IsAborted());
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).ok());
+  locks.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager locks(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kExclusive).ok());
+    locks.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  locks.ReleaseAll(1);
+  waiter.join();
+}
+
+TEST(LockManagerTest, IndependentTablesDoNotConflict) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.AcquireTable(2, 11, LockMode::kExclusive).ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, IntentionModesCoexist) {
+  LockManager locks(std::chrono::milliseconds(50));
+  EXPECT_TRUE(locks.AcquireTable(1, 10, LockMode::kIntentionExclusive).ok());
+  EXPECT_TRUE(locks.AcquireTable(2, 10, LockMode::kIntentionExclusive).ok());
+  EXPECT_TRUE(locks.AcquireTable(3, 10, LockMode::kIntentionShared).ok());
+  // S conflicts with IX holders; X conflicts with everyone.
+  EXPECT_TRUE(locks.AcquireTable(4, 10, LockMode::kShared).IsAborted());
+  EXPECT_TRUE(locks.AcquireTable(4, 10, LockMode::kExclusive).IsAborted());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  // IS holders permit S.
+  EXPECT_TRUE(locks.AcquireTable(4, 10, LockMode::kShared).ok());
+  locks.ReleaseAll(3);
+  locks.ReleaseAll(4);
+}
+
+TEST(LockManagerTest, RowLocksIndependentUnderIntention) {
+  LockManager locks(std::chrono::milliseconds(50));
+  ASSERT_TRUE(locks.AcquireTable(1, 10, LockMode::kIntentionExclusive).ok());
+  ASSERT_TRUE(locks.AcquireTable(2, 10, LockMode::kIntentionExclusive).ok());
+  EXPECT_TRUE(locks.AcquireRow(1, 10, RowKey(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.AcquireRow(2, 10, RowKey(2), LockMode::kExclusive).ok());
+  // Same row conflicts.
+  EXPECT_TRUE(
+      locks.AcquireRow(2, 10, RowKey(1), LockMode::kExclusive).IsAborted());
+  EXPECT_TRUE(
+      locks.AcquireRow(2, 10, RowKey(1), LockMode::kShared).IsAborted());
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.AcquireRow(2, 10, RowKey(1), LockMode::kExclusive).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, RowSharedReadersCoexist) {
+  LockManager locks(std::chrono::milliseconds(50));
+  ASSERT_TRUE(locks.AcquireTable(1, 10, LockMode::kIntentionShared).ok());
+  ASSERT_TRUE(locks.AcquireTable(2, 10, LockMode::kIntentionShared).ok());
+  EXPECT_TRUE(locks.AcquireRow(1, 10, RowKey(7), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.AcquireRow(2, 10, RowKey(7), LockMode::kShared).ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, CompatibilityMatrix) {
+  using M = LockMode;
+  EXPECT_TRUE(LockModesCompatible(M::kIntentionShared, M::kIntentionShared));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentionShared, M::kIntentionExclusive));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentionShared, M::kShared));
+  EXPECT_FALSE(LockModesCompatible(M::kIntentionShared, M::kExclusive));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentionExclusive, M::kIntentionExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kIntentionExclusive, M::kShared));
+  EXPECT_TRUE(LockModesCompatible(M::kShared, M::kShared));
+  EXPECT_FALSE(LockModesCompatible(M::kShared, M::kIntentionExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kExclusive, M::kIntentionShared));
+}
+
+}  // namespace
+}  // namespace sqlledger

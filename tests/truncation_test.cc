@@ -1,0 +1,164 @@
+// Ledger truncation tests (paper §5.2): verify -> dummy-update -> truncate
+// -> audit, then continued verifiability with recent digests.
+
+#include <gtest/gtest.h>
+
+#include "ledger/truncation.h"
+#include "ledger/verifier.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace {
+
+Value VB(int64_t v) { return Value::BigInt(v); }
+Value VS(const std::string& s) { return Value::Varchar(s); }
+
+class TruncationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenTestDb(/*block_size=*/4);
+    ASSERT_TRUE(db_->CreateTable("accounts", AccountSchema(),
+                                 TableKind::kUpdateable)
+                    .ok());
+    // Enough traffic to span several blocks, including updates so history
+    // exists.
+    for (int i = 0; i < 10; i++) {
+      auto txn = db_->Begin("app");
+      ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                              {VS("acct" + std::to_string(i)), VB(i)})
+                      .ok());
+      ASSERT_TRUE(db_->Commit(*txn).ok());
+    }
+    for (int i = 0; i < 4; i++) {
+      auto txn = db_->Begin("app");
+      ASSERT_TRUE(db_->Update(*txn, "accounts",
+                              {VS("acct" + std::to_string(i)), VB(i + 100)})
+                      .ok());
+      ASSERT_TRUE(db_->Commit(*txn).ok());
+    }
+    auto digest = db_->GenerateDigest();
+    ASSERT_TRUE(digest.ok());
+    digest_ = *digest;
+  }
+
+  std::unique_ptr<LedgerDatabase> db_;
+  DatabaseDigest digest_;
+};
+
+TEST_F(TruncationTest, TruncateRemovesOldBlocksAndKeepsVerifying) {
+  uint64_t cutoff = 2;
+  ASSERT_GE(db_->database_ledger()->closed_block_count(), 3u);
+  ASSERT_TRUE(db_->database_ledger()->FindBlock(0).ok());
+
+  Status st = TruncateLedger(db_.get(), cutoff, {digest_});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Old blocks physically gone.
+  EXPECT_TRUE(db_->database_ledger()->FindBlock(0).status().IsNotFound());
+  EXPECT_TRUE(db_->database_ledger()->FindBlock(1).status().IsNotFound());
+
+  // The truncation is audited.
+  auto records = db_->GetTruncationRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].truncated_below_block, cutoff);
+  EXPECT_GE(records[0].max_txn_id, records[0].min_txn_id);
+
+  // A fresh digest verifies post-truncation.
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+  auto report = VerifyLedger(db_.get(), {*digest});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+TEST_F(TruncationTest, LiveDataStillReadableAndCorrect) {
+  ASSERT_TRUE(TruncateLedger(db_.get(), 2, {digest_}).ok());
+  auto txn = db_->Begin("app");
+  for (int i = 0; i < 10; i++) {
+    auto row = db_->Get(*txn, "accounts", {VS("acct" + std::to_string(i))});
+    ASSERT_TRUE(row.ok()) << "acct" << i;
+    EXPECT_EQ((*row)[1].AsInt64(), i < 4 ? i + 100 : i);
+  }
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+}
+
+TEST_F(TruncationTest, OldDigestsStopVerifyingAfterTruncation) {
+  ASSERT_TRUE(TruncateLedger(db_.get(), 2, {digest_}).ok());
+  // digest_ covers a truncated block only if its block < 2; ours covers the
+  // last closed block, so craft an old digest instead: a digest for block 0
+  // can no longer verify.
+  DatabaseDigest old = digest_;
+  old.block_id = 0;
+  auto report = VerifyLedger(db_.get(), {old});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST_F(TruncationTest, RefusesWithoutDigests) {
+  EXPECT_EQ(TruncateLedger(db_.get(), 2, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TruncationTest, RefusesBeyondOpenBlock) {
+  EXPECT_EQ(TruncateLedger(db_.get(), 10000, {digest_}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TruncationTest, RefusesOnTamperedDatabase) {
+  TableStore* store = db_->GetStoreForTesting("accounts");
+  Row* row = store->mutable_clustered()->MutableGet({VS("acct5")});
+  ASSERT_NE(row, nullptr);
+  (*row)[1] = VB(666);
+  EXPECT_TRUE(
+      TruncateLedger(db_.get(), 2, {digest_}).IsIntegrityViolation());
+}
+
+TEST_F(TruncationTest, TamperDetectionStillWorksAfterTruncation) {
+  ASSERT_TRUE(TruncateLedger(db_.get(), 2, {digest_}).ok());
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+
+  TableStore* store = db_->GetStoreForTesting("accounts");
+  Row* row = store->mutable_clustered()->MutableGet({VS("acct7")});
+  ASSERT_NE(row, nullptr);
+  (*row)[1] = VB(31337);
+
+  auto report = VerifyLedger(db_.get(), {*digest});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST_F(TruncationTest, SecondTruncationWorks) {
+  ASSERT_TRUE(TruncateLedger(db_.get(), 2, {digest_}).ok());
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+  // More traffic, then truncate again past the first cutoff.
+  for (int i = 10; i < 14; i++) {
+    auto txn = db_->Begin("app");
+    ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                            {VS("acct" + std::to_string(i)), VB(i)})
+                    .ok());
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+  }
+  auto digest2 = db_->GenerateDigest();
+  ASSERT_TRUE(digest2.ok());
+  uint64_t cutoff2 = digest2->block_id;  // truncate everything but the tail
+  Status st = TruncateLedger(db_.get(), cutoff2, {*digest2});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  ASSERT_EQ(db_->GetTruncationRecords().size(), 2u);
+  auto digest3 = db_->GenerateDigest();
+  ASSERT_TRUE(digest3.ok());
+  auto report = VerifyLedger(db_.get(), {*digest3});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+TEST_F(TruncationTest, NothingToTruncateIsOk) {
+  // Cutoff 0 truncates nothing.
+  EXPECT_TRUE(TruncateLedger(db_.get(), 0, {digest_}).ok());
+  EXPECT_TRUE(db_->GetTruncationRecords().empty());
+}
+
+}  // namespace
+}  // namespace sqlledger

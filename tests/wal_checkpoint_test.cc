@@ -1,0 +1,254 @@
+// WAL framing/replay (including torn and corrupt tails) and checkpoint
+// round-trips.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+#include "util/coding.h"
+
+namespace sqlledger {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sl_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+using WalTest = TempDir;
+using CheckpointTest = TempDir;
+
+WalCommitRecord MakeRecord(uint64_t txn_id) {
+  WalCommitRecord rec;
+  rec.txn_id = txn_id;
+  rec.commit_ts_micros = 1000 + static_cast<int64_t>(txn_id);
+  rec.user_name = "user" + std::to_string(txn_id);
+  rec.block_id = txn_id / 10;
+  rec.block_ordinal = txn_id % 10;
+  Hash256 root;
+  root.bytes[0] = static_cast<uint8_t>(txn_id);
+  rec.table_roots.emplace_back(100, root);
+  WalOp op;
+  op.type = WalOpType::kInsert;
+  op.table_id = 100;
+  op.key = {Value::BigInt(static_cast<int64_t>(txn_id))};
+  op.new_row = {Value::BigInt(static_cast<int64_t>(txn_id)),
+                Value::Varchar("payload")};
+  rec.ops.push_back(op);
+  return rec;
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundTrip) {
+  WalCommitRecord rec = MakeRecord(7);
+  rec.ops.push_back(WalOp{WalOpType::kDelete, 101,
+                          {Value::BigInt(9)},
+                          {}});
+  rec.ops.push_back(WalOp{WalOpType::kUpdate, 102,
+                          {Value::BigInt(1)},
+                          {Value::BigInt(1), Value::Varchar("new")}});
+  std::vector<uint8_t> buf;
+  rec.EncodeTo(&buf);
+  auto decoded = WalCommitRecord::Decode(Slice(buf));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->txn_id, 7u);
+  EXPECT_EQ(decoded->user_name, "user7");
+  EXPECT_EQ(decoded->block_ordinal, 7u);
+  ASSERT_EQ(decoded->table_roots.size(), 1u);
+  EXPECT_EQ(decoded->table_roots[0].first, 100u);
+  ASSERT_EQ(decoded->ops.size(), 3u);
+  EXPECT_EQ(decoded->ops[1].type, WalOpType::kDelete);
+  EXPECT_EQ(decoded->ops[2].new_row[1].string_value(), "new");
+}
+
+TEST(WalRecordTest, DecodeRejectsTruncation) {
+  WalCommitRecord rec = MakeRecord(7);
+  std::vector<uint8_t> buf;
+  rec.EncodeTo(&buf);
+  for (size_t cut : {size_t{1}, size_t{8}, buf.size() / 2, buf.size() - 1}) {
+    auto decoded = WalCommitRecord::Decode(Slice(buf.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(WalTest, AppendAndReplay) {
+  auto wal = Wal::Open(Path("wal.log"), WalOptions{});
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t i = 0; i < 20; i++) {
+    ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(i)).ok());
+  }
+  (*wal).reset();
+
+  uint64_t seen = 0;
+  auto count = Wal::Replay(Path("wal.log"), [&](Slice payload) {
+    auto rec = WalCommitRecord::Decode(payload);
+    EXPECT_TRUE(rec.ok());
+    EXPECT_EQ(rec->txn_id, seen);
+    seen++;
+    return Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 20u);
+}
+
+TEST_F(WalTest, ReplayOfMissingFileIsEmpty) {
+  auto count = Wal::Replay(Path("nonexistent.log"),
+                           [](Slice) { return Status::OK(); });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(WalTest, TornTailIsTolerated) {
+  {
+    auto wal = Wal::Open(Path("wal.log"), WalOptions{});
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 5; i++)
+      ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(i)).ok());
+  }
+  // Chop bytes off the end, simulating a crash mid-write.
+  auto size = std::filesystem::file_size(Path("wal.log"));
+  std::filesystem::resize_file(Path("wal.log"), size - 3);
+
+  uint64_t seen = 0;
+  auto count = Wal::Replay(Path("wal.log"), [&](Slice) {
+    seen++;
+    return Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 4u);  // last record torn away
+}
+
+TEST_F(WalTest, CorruptRecordStopsReplay) {
+  {
+    auto wal = Wal::Open(Path("wal.log"), WalOptions{});
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 5; i++)
+      ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(i)).ok());
+  }
+  // Flip a byte in the middle of the file (inside record payloads).
+  std::fstream f(Path("wal.log"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  char byte;
+  f.seekg(40);
+  f.get(byte);
+  f.seekp(40);
+  f.put(static_cast<char>(byte ^ 0xFF));
+  f.close();
+
+  uint64_t seen = 0;
+  auto count = Wal::Replay(Path("wal.log"), [&](Slice) {
+    seen++;
+    return Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_LT(*count, 5u);  // replay stopped at the corrupt record
+}
+
+TEST_F(WalTest, ResetTruncates) {
+  auto wal = Wal::Open(Path("wal.log"), WalOptions{});
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(1)).ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(2)).ok());
+  (*wal).reset();
+
+  std::vector<uint64_t> ids;
+  ASSERT_TRUE(Wal::Replay(Path("wal.log"), [&](Slice payload) {
+                auto rec = WalCommitRecord::Decode(payload);
+                ids.push_back(rec->txn_id);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{2}));
+}
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("payload", DataType::kVarchar, true);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+TEST_F(CheckpointTest, RoundTripTablesAndMeta) {
+  TableStore t1(100, "accounts", TwoColSchema());
+  for (int64_t i = 0; i < 50; i++) {
+    ASSERT_TRUE(
+        t1.Insert({Value::BigInt(i), Value::Varchar("row" + std::to_string(i))})
+            .ok());
+  }
+  ASSERT_TRUE(t1.CreateIndex("by_payload", {1}, false).ok());
+  TableStore t2(101, "empty", TwoColSchema());
+
+  std::string meta = "catalog-meta-blob";
+  ASSERT_TRUE(
+      WriteCheckpoint(Path("ckpt"), Slice(meta), {&t1, &t2}).ok());
+
+  auto loaded = ReadCheckpoint(Path("ckpt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(std::string(loaded->meta.begin(), loaded->meta.end()), meta);
+  ASSERT_EQ(loaded->tables.size(), 2u);
+  EXPECT_EQ(loaded->tables[0]->table_id(), 100u);
+  EXPECT_EQ(loaded->tables[0]->name(), "accounts");
+  EXPECT_EQ(loaded->tables[0]->row_count(), 50u);
+  ASSERT_EQ(loaded->tables[0]->indexes().size(), 1u);
+  EXPECT_EQ(loaded->tables[0]->indexes()[0]->tree.size(), 50u);
+  EXPECT_EQ(loaded->tables[1]->row_count(), 0u);
+
+  const Row* row = loaded->tables[0]->Get({Value::BigInt(7)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].string_value(), "row7");
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadCheckpoint(Path("nope")).status().IsNotFound());
+}
+
+TEST_F(CheckpointTest, CorruptionDetected) {
+  TableStore t1(100, "t", TwoColSchema());
+  ASSERT_TRUE(t1.Insert({Value::BigInt(1), Value::Varchar("x")}).ok());
+  ASSERT_TRUE(WriteCheckpoint(Path("ckpt"), Slice(std::string("m")), {&t1}).ok());
+
+  std::fstream f(Path("ckpt"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-2, std::ios::end);
+  f.put('\xAA');
+  f.close();
+
+  EXPECT_TRUE(ReadCheckpoint(Path("ckpt")).status().IsCorruption());
+}
+
+TEST_F(CheckpointTest, SchemaRoundTripPreservesFlags) {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("gone", DataType::kInt, true);
+  s.mutable_column(1)->dropped = true;
+  s.AddColumn("sys", DataType::kBigInt, true, 0, true);
+  s.SetPrimaryKey({0});
+
+  std::vector<uint8_t> buf;
+  EncodeSchema(s, &buf);
+  Decoder dec{Slice(buf)};
+  auto decoded = DecodeSchema(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_columns(), 3u);
+  EXPECT_TRUE(decoded->column(1).dropped);
+  EXPECT_TRUE(decoded->column(2).hidden);
+  EXPECT_EQ(decoded->column(1).column_id, 2u);
+  EXPECT_EQ(decoded->key_ordinals(), (std::vector<size_t>{0}));
+  EXPECT_EQ(decoded->next_column_id(), s.next_column_id());
+}
+
+}  // namespace
+}  // namespace sqlledger
