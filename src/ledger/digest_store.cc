@@ -2,13 +2,47 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 
+#include "util/coding.h"
 #include "util/hex.h"
 #include "util/json.h"
 
 namespace sqlledger {
+
+namespace {
+
+/// Wraps a digest document in a CRC-carrying envelope so blob corruption is
+/// detected at read time rather than trusted.
+std::string EncodeBlobEnvelope(const std::string& digest_json) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32c(Slice(digest_json)));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("crc32c", JsonValue::Str(crc_hex));
+  doc.Set("payload", JsonValue::Str(digest_json));
+  return doc.Dump();
+}
+
+Result<DatabaseDigest> DecodeBlobEnvelope(const std::string& blob,
+                                          const std::string& path) {
+  auto corrupt = [&path](const std::string& why) {
+    return Status::Corruption("digest blob " + path + " is corrupt: " + why);
+  };
+  auto parsed = JsonValue::Parse(blob);
+  if (!parsed.ok()) return corrupt(parsed.status().message());
+  auto crc_hex = parsed->GetString("crc32c");
+  if (!crc_hex.ok()) return corrupt("missing crc32c field");
+  auto payload = parsed->GetString("payload");
+  if (!payload.ok()) return corrupt("missing payload field");
+  char expect_hex[16];
+  std::snprintf(expect_hex, sizeof(expect_hex), "%08x",
+                Crc32c(Slice(*payload)));
+  if (*crc_hex != expect_hex) return corrupt("CRC mismatch");
+  auto digest = DatabaseDigest::FromJson(*payload);
+  if (!digest.ok()) return corrupt(digest.status().message());
+  return digest;
+}
+
+}  // namespace
 
 Status InMemoryDigestStore::Upload(const DatabaseDigest& digest) {
   by_incarnation_[digest.database_create_time].push_back(digest);
@@ -37,13 +71,13 @@ Result<DatabaseDigest> InMemoryDigestStore::Latest(
 }
 
 Result<std::unique_ptr<ImmutableBlobDigestStore>> ImmutableBlobDigestStore::Open(
-    const std::string& root_dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(root_dir, ec);
-  if (ec)
-    return Status::IOError("cannot create digest store root: " + ec.message());
+    const std::string& root_dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Status st = env->CreateDirs(root_dir);
+  if (!st.ok())
+    return Status::IOError("cannot create digest store root: " + st.message());
   return std::unique_ptr<ImmutableBlobDigestStore>(
-      new ImmutableBlobDigestStore(root_dir));
+      new ImmutableBlobDigestStore(root_dir, env));
 }
 
 Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
@@ -51,34 +85,44 @@ Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
       digest.database_create_time.empty() ? "default"
                                           : digest.database_create_time;
   std::string dir = root_dir_ + "/" + incarnation;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec)
-    return Status::IOError("cannot create incarnation dir: " + ec.message());
+  Status st = env_->CreateDirs(dir);
+  if (!st.ok())
+    return Status::IOError("cannot create incarnation dir: " + st.message());
 
-  // Sequence number = number of existing blobs; retry on collision so
-  // concurrent uploaders never overwrite (write-once contract).
-  for (int attempt = 0; attempt < 1000; attempt++) {
-    size_t seq = 0;
-    for ([[maybe_unused]] const auto& e :
-         std::filesystem::directory_iterator(dir))
-      seq++;
+  // Sequence number = number of existing blobs. The exclusive create is
+  // the write-once enforcement: an existing blob is NEVER opened for
+  // writing, and a name collision (concurrent uploader) moves on to the
+  // next sequence number instead of overwriting.
+  std::string blob = EncodeBlobEnvelope(digest.ToJson());
+  auto children = env_->GetChildren(dir);
+  size_t seq = children.ok() ? children->size() : 0;
+  for (int attempt = 0; attempt < 1000; attempt++, seq++) {
     char name[32];
-    std::snprintf(name, sizeof(name), "digest-%08zu.json", seq + attempt);
+    std::snprintf(name, sizeof(name), "digest-%08zu.json", seq);
     std::string path = dir + "/" + name;
-    if (std::filesystem::exists(path)) continue;
-    std::ofstream out(path, std::ios::out);
-    if (!out) return Status::IOError("cannot create digest blob: " + path);
-    out << digest.ToJson();
-    out.close();
-    if (!out) return Status::IOError("failed writing digest blob: " + path);
+    auto file = env_->NewWritableFile(
+        path, WritableFileOptions{.truncate = false, .exclusive = true});
+    if (!file.ok()) {
+      if (file.status().code() == StatusCode::kAlreadyExists) continue;
+      return Status::IOError("cannot create digest blob " + path + ": " +
+                             file.status().message());
+    }
+    st = (*file)->Append(Slice(blob));
+    // Digests are the trusted side of verification; an upload must not be
+    // reported successful until the blob (and its directory entry) would
+    // survive a crash of the storage host.
+    if (st.ok()) st = (*file)->Sync();
+    Status close_st = (*file)->Close();
+    if (st.ok()) st = close_st;
+    if (!st.ok()) {
+      env_->RemoveFile(path);
+      return Status::IOError("failed writing digest blob " + path + ": " +
+                             st.message());
+    }
+    SL_RETURN_IF_ERROR(env_->SyncDir(dir));
     // Emulate the storage service's immutability policy: strip write
     // permission from the stored blob.
-    std::filesystem::permissions(path,
-                                 std::filesystem::perms::owner_read |
-                                     std::filesystem::perms::group_read |
-                                     std::filesystem::perms::others_read,
-                                 ec);
+    env_->MakeReadOnly(path);
     return Status::OK();
   }
   return Status::Busy("could not allocate a digest blob name");
@@ -86,25 +130,28 @@ Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
 
 Result<std::vector<DatabaseDigest>> ImmutableBlobDigestStore::ListAll() const {
   std::vector<DatabaseDigest> out;
-  if (!std::filesystem::exists(root_dir_)) return out;
+  auto incarnations = env_->GetChildren(root_dir_);
+  if (!incarnations.ok()) {
+    if (incarnations.status().IsNotFound()) return out;
+    return incarnations.status();
+  }
   std::vector<std::string> files;
-  for (const auto& incarnation :
-       std::filesystem::directory_iterator(root_dir_)) {
-    if (!incarnation.is_directory()) continue;
-    for (const auto& blob :
-         std::filesystem::directory_iterator(incarnation.path()))
-      files.push_back(blob.path().string());
+  for (const std::string& incarnation : *incarnations) {
+    std::string dir = root_dir_ + "/" + incarnation;
+    if (!env_->IsDirectory(dir)) continue;
+    auto blobs = env_->GetChildren(dir);
+    if (!blobs.ok()) return blobs.status();
+    for (const std::string& blob : *blobs) files.push_back(dir + "/" + blob);
   }
   std::sort(files.begin(), files.end());
   for (const std::string& path : files) {
-    std::ifstream in(path);
-    if (!in) return Status::IOError("cannot read digest blob: " + path);
-    std::string json((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    auto digest = DatabaseDigest::FromJson(json);
-    if (!digest.ok())
-      return Status::Corruption("malformed digest blob " + path + ": " +
-                                digest.status().ToString());
+    auto bytes = env_->ReadFile(path);
+    if (!bytes.ok())
+      return Status::IOError("cannot read digest blob " + path + ": " +
+                             bytes.status().message());
+    auto digest = DecodeBlobEnvelope(
+        std::string(bytes->begin(), bytes->end()), path);
+    if (!digest.ok()) return digest.status();
     out.push_back(std::move(*digest));
   }
   return out;

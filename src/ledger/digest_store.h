@@ -27,6 +27,7 @@
 #include "ledger/digest.h"
 #include "ledger/ledger_database.h"
 #include "ledger/verifier.h"
+#include "storage/env.h"
 #include "util/result.h"
 
 namespace sqlledger {
@@ -59,23 +60,30 @@ class InMemoryDigestStore : public DigestStore {
 };
 
 /// Directory-backed simulation of Azure Immutable Blob Storage: one
-/// subdirectory per incarnation, one write-once JSON file per digest.
-/// Upload fails with PermissionDenied rather than overwrite anything.
+/// subdirectory per incarnation, one write-once file per digest. Every blob
+/// is a JSON envelope carrying the digest document plus a CRC32C of it, so
+/// storage-level corruption (bit rot, truncation) surfaces as an explicit
+/// Corruption status instead of a silently wrong digest. Write-once is
+/// enforced at the filesystem layer (exclusive create — an existing blob is
+/// never opened for writing), and each blob is fsynced plus dir-synced
+/// before Upload returns, matching the durability contract of a real
+/// immutable blob service. All I/O flows through Env for fault injection.
 class ImmutableBlobDigestStore : public DigestStore {
  public:
-  /// `root_dir` is created if absent.
+  /// `root_dir` is created if absent. `env` = nullptr uses Env::Default().
   static Result<std::unique_ptr<ImmutableBlobDigestStore>> Open(
-      const std::string& root_dir);
+      const std::string& root_dir, Env* env = nullptr);
 
   Status Upload(const DatabaseDigest& digest) override;
   Result<std::vector<DatabaseDigest>> ListAll() const override;
   Result<DatabaseDigest> Latest(const std::string& create_time) const override;
 
  private:
-  explicit ImmutableBlobDigestStore(std::string root_dir)
-      : root_dir_(std::move(root_dir)) {}
+  ImmutableBlobDigestStore(std::string root_dir, Env* env)
+      : root_dir_(std::move(root_dir)), env_(env) {}
 
   std::string root_dir_;
+  Env* env_;
 };
 
 /// Generates a digest from `db` and uploads it to `store`, first verifying

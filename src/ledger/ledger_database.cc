@@ -56,6 +56,7 @@ LedgerDatabase::LedgerDatabase(LedgerDatabaseOptions options)
       locks_(options_.lock_timeout),
       signer_(options_.signing_key_id, options_.signing_key) {
   if (!options_.clock) options_.clock = SystemClockMicros;
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
 }
 
 LedgerDatabase::~LedgerDatabase() = default;
@@ -69,21 +70,28 @@ Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
     return db;
   }
 
-  std::error_code ec;
-  std::filesystem::create_directories(db->options_.data_dir, ec);
-  if (ec)
-    return Status::IOError("cannot create data dir: " + ec.message());
+  Env* env = db->env_;
+  Status mkdir_st = env->CreateDirs(db->options_.data_dir);
+  if (!mkdir_st.ok())
+    return Status::IOError("cannot create data dir: " + mkdir_st.message());
   db->checkpoint_path_ = db->options_.data_dir + "/checkpoint.sldb";
   db->wal_path_ = db->options_.data_dir + "/wal.log";
 
-  if (std::filesystem::exists(db->checkpoint_path_)) {
+  WalOptions wal_options;
+  wal_options.sync = db->options_.sync_wal;
+  wal_options.env = env;
+
+  // A crash between the two checkpoint renames can leave only the ".prev"
+  // generation on disk — that is still an existing database, not a fresh one.
+  if (env->FileExists(db->checkpoint_path_) ||
+      env->FileExists(db->checkpoint_path_ + ".prev")) {
     SL_RETURN_IF_ERROR(db->Recover());
-    auto wal = Wal::Open(db->wal_path_, WalOptions{db->options_.sync_wal});
+    auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
   } else {
     SL_RETURN_IF_ERROR(db->InitFresh());
-    auto wal = Wal::Open(db->wal_path_, WalOptions{db->options_.sync_wal});
+    auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
     // First checkpoint, so recovery never sees a WAL without a catalog.
@@ -284,8 +292,27 @@ Status LedgerDatabase::DecodeCatalogMeta(
 }
 
 Status LedgerDatabase::Recover() {
-  auto checkpoint = ReadCheckpoint(checkpoint_path_);
-  if (!checkpoint.ok()) return checkpoint.status();
+  // Load the newest checkpoint; if it is missing or torn (a crash during
+  // WriteCheckpoint), fall back to the retained previous generation. The
+  // fallback additionally replays the rotated WAL ("wal.log.prev", which
+  // spans previous-checkpoint -> newest-checkpoint), so either path
+  // reconstructs the same state — replay is idempotent.
+  bool used_fallback = false;
+  auto checkpoint = ReadCheckpoint(checkpoint_path_, env_);
+  if (!checkpoint.ok()) {
+    if (checkpoint.status().IsNotFound() ||
+        checkpoint.status().code() == StatusCode::kCorruption) {
+      checkpoint = ReadCheckpoint(checkpoint_path_ + ".prev", env_);
+      if (!checkpoint.ok())
+        return Status::Corruption(
+            "cannot load checkpoint (newest is missing/torn and no usable "
+            "previous generation): " +
+            checkpoint.status().message());
+      used_fallback = true;
+    } else {
+      return checkpoint.status();
+    }
+  }
   SL_RETURN_IF_ERROR(DecodeCatalogMeta(Slice(checkpoint->meta),
                                        std::move(checkpoint->tables)));
   if (options_.enable_ledger) {
@@ -300,9 +327,28 @@ Status LedgerDatabase::Recover() {
   // Replay the WAL tail: redo row operations idempotently and rebuild the
   // Database Ledger's in-memory queue from the commit records (the Analysis
   // phase of paper §3.3.2).
+  if (used_fallback) {
+    auto prev = Wal::Replay(
+        wal_path_ + ".prev",
+        [this](Slice payload) { return ReplayWalRecord(payload); }, env_);
+    if (!prev.ok()) return prev.status();
+  }
+  uint64_t valid_bytes = 0;
   auto replayed = Wal::Replay(
-      wal_path_, [this](Slice payload) { return ReplayWalRecord(payload); });
+      wal_path_,
+      [this, &valid_bytes](Slice payload) {
+        SL_RETURN_IF_ERROR(ReplayWalRecord(payload));
+        valid_bytes += 8 + payload.size();  // frame header + payload
+        return Status::OK();
+      },
+      env_);
   if (!replayed.ok()) return replayed.status();
+  // Chop off any torn tail NOW: the WAL is reopened for append, and a
+  // record written after un-replayable garbage would be unreachable to
+  // every future replay (it sits past the point where replay stops).
+  auto wal_size = env_->GetFileSize(wal_path_);
+  if (wal_size.ok() && *wal_size > valid_bytes)
+    SL_RETURN_IF_ERROR(env_->TruncateFile(wal_path_, valid_bytes));
   return Status::OK();
 }
 
@@ -880,7 +926,8 @@ Status LedgerDatabase::Checkpoint() {
     if (entry->history) stores.push_back(entry->history.get());
   }
   std::vector<uint8_t> meta = EncodeCatalogMeta();
-  SL_RETURN_IF_ERROR(WriteCheckpoint(checkpoint_path_, Slice(meta), stores));
+  SL_RETURN_IF_ERROR(
+      WriteCheckpoint(checkpoint_path_, Slice(meta), stores, env_));
   if (wal_ != nullptr) SL_RETURN_IF_ERROR(wal_->Reset());
   return Status::OK();
 }

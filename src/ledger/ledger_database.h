@@ -63,6 +63,10 @@ struct LedgerDatabaseOptions {
   /// Force a fresh incarnation tag even when reopening existing data —
   /// set by point-in-time-restore simulation (paper §3.6).
   bool force_new_incarnation = false;
+  /// Storage environment for all file I/O (WAL, checkpoints, recovery).
+  /// nullptr = Env::Default(); tests inject a FaultInjectionEnv here.
+  /// Not owned; must outlive the database.
+  Env* env = nullptr;
 };
 
 /// Catalog entry for one table (regular or ledger).
@@ -265,6 +269,7 @@ class LedgerDatabase {
                                const std::vector<DatabaseDigest>& digests);
 
   LedgerDatabaseOptions options_;
+  Env* env_ = nullptr;  // resolved from options_.env (never null after ctor)
   std::string create_time_;
   std::string wal_path_;
   std::string checkpoint_path_;

@@ -1,7 +1,6 @@
 #include "storage/checkpoint.h"
 
-#include <cstdio>
-#include <filesystem>
+#include <cstring>
 
 #include "catalog/row.h"
 #include "util/coding.h"
@@ -11,6 +10,11 @@ namespace sqlledger {
 namespace {
 constexpr char kMagic[] = "SLCKPT01";
 constexpr size_t kMagicLen = 8;
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
 }  // namespace
 
 void EncodeSchema(const Schema& schema, std::vector<uint8_t>* dst) {
@@ -74,7 +78,9 @@ Result<Schema> DecodeSchema(Decoder* dec) {
 }
 
 Status WriteCheckpoint(const std::string& path, Slice meta,
-                       const std::vector<const TableStore*>& tables) {
+                       const std::vector<const TableStore*>& tables,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::vector<uint8_t> payload;
   PutLengthPrefixed(&payload, meta);
   PutVarint32(&payload, static_cast<uint32_t>(tables.size()));
@@ -96,56 +102,74 @@ Status WriteCheckpoint(const std::string& path, Slice meta,
     }
   }
 
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr)
-    return Status::IOError("cannot create checkpoint temp file: " + tmp);
-
   std::vector<uint8_t> header;
   header.insert(header.end(), kMagic, kMagic + kMagicLen);
   PutFixed64(&header, payload.size());
   PutFixed32(&header, Crc32c(Slice(payload)));
-  bool write_ok =
-      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
-      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
-      std::fflush(f) == 0;
-  std::fclose(f);
-  if (!write_ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("checkpoint write failed");
+
+  std::string tmp = path + ".tmp";
+  {
+    auto file = env->NewWritableFile(tmp, WritableFileOptions{.truncate = true});
+    if (!file.ok())
+      return Status::IOError("cannot create checkpoint temp file " + tmp +
+                             ": " + file.status().message());
+    Status st = (*file)->Append(Slice(header));
+    if (st.ok()) st = (*file)->Append(Slice(payload));
+    if (st.ok()) st = (*file)->Flush();
+    // fsync BEFORE rename: without this, the rename can become durable
+    // ahead of the data and a crash leaves an empty/torn file under the
+    // checkpoint's name — which recovery would trust.
+    if (st.ok()) st = (*file)->Sync();
+    Status close_st = (*file)->Close();
+    if (st.ok()) st = close_st;
+    if (!st.ok()) {
+      env->RemoveFile(tmp);
+      return Status::IOError("checkpoint write failed: " + st.message());
+    }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) return Status::IOError("checkpoint rename failed: " + ec.message());
+  // Retain the checkpoint being replaced: recovery falls back to it (plus
+  // the rotated WAL) if the new one is ever found torn or corrupt.
+  if (env->FileExists(path))
+    SL_RETURN_IF_ERROR(env->RenameFile(path, path + ".prev"));
+  SL_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  // fsync the parent directory so the renames themselves survive a crash.
+  SL_RETURN_IF_ERROR(env->SyncDir(ParentDir(path)));
   return Status::OK();
 }
 
-Result<CheckpointData> ReadCheckpoint(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("no checkpoint at " + path);
+Result<CheckpointData> ReadCheckpoint(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewSequentialFile(path);
+  if (!file.ok()) {
+    if (file.status().IsNotFound())
+      return Status::NotFound("no checkpoint at " + path);
+    return file.status();
+  }
 
   uint8_t header[kMagicLen + 12];
-  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
-    std::fclose(f);
+  auto header_n = (*file)->Read(sizeof(header), header);
+  if (!header_n.ok()) return header_n.status();
+  if (*header_n != sizeof(header))
     return Status::Corruption("checkpoint header truncated");
-  }
-  if (std::memcmp(header, kMagic, kMagicLen) != 0) {
-    std::fclose(f);
+  if (std::memcmp(header, kMagic, kMagicLen) != 0)
     return Status::Corruption("bad checkpoint magic");
-  }
   uint64_t len = 0;
   for (int i = 0; i < 8; i++)
     len |= static_cast<uint64_t>(header[kMagicLen + i]) << (8 * i);
   uint32_t crc = 0;
   for (int i = 0; i < 4; i++)
     crc |= static_cast<uint32_t>(header[kMagicLen + 8 + i]) << (8 * i);
+  // A corrupted length field must not drive a giant allocation: the payload
+  // can never exceed what is actually in the file.
+  auto file_size = env->GetFileSize(path);
+  if (file_size.ok() && len > *file_size)
+    return Status::Corruption("checkpoint length field exceeds file size");
 
   std::vector<uint8_t> payload(len);
-  if (std::fread(payload.data(), 1, len, f) != len) {
-    std::fclose(f);
+  auto payload_n = (*file)->Read(len, payload.data());
+  if (!payload_n.ok()) return payload_n.status();
+  if (*payload_n != len)
     return Status::Corruption("checkpoint payload truncated");
-  }
-  std::fclose(f);
   if (Crc32c(Slice(payload)) != crc)
     return Status::Corruption("checkpoint CRC mismatch");
 

@@ -2,6 +2,13 @@
 // opaque metadata blob (catalog + ledger state serialized by the layer
 // above). After a successful checkpoint the WAL is reset; recovery loads
 // the latest checkpoint and replays the WAL tail (paper §3.3.2).
+//
+// Durability protocol (see DESIGN.md "Failure model"): the snapshot is
+// written to `path + ".tmp"` and fsynced BEFORE any rename, the previous
+// checkpoint is retained as `path + ".prev"`, the temp file is renamed into
+// place, and the parent directory is fsynced so the renames survive a
+// crash. A crash at any point leaves either the new checkpoint or the
+// previous one loadable.
 
 #ifndef SQLLEDGER_STORAGE_CHECKPOINT_H_
 #define SQLLEDGER_STORAGE_CHECKPOINT_H_
@@ -10,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/table_store.h"
 #include "util/result.h"
 #include "util/slice.h"
@@ -22,15 +30,18 @@ struct CheckpointData {
   std::vector<std::unique_ptr<TableStore>> tables;
 };
 
-/// Serializes `meta` and `tables` to `path` via write-temp-then-rename, so a
-/// crash mid-checkpoint leaves the previous checkpoint intact. The entire
-/// payload is CRC-protected.
+/// Serializes `meta` and `tables` to `path` via write-temp-fsync-rename
+/// (file and parent directory both synced), keeping the checkpoint being
+/// replaced as `path + ".prev"`. The entire payload is CRC-protected.
+/// `env` = nullptr uses Env::Default().
 Status WriteCheckpoint(const std::string& path, Slice meta,
-                       const std::vector<const TableStore*>& tables);
+                       const std::vector<const TableStore*>& tables,
+                       Env* env = nullptr);
 
 /// Loads a checkpoint. NotFound if the file does not exist; Corruption on
-/// CRC or format errors.
-Result<CheckpointData> ReadCheckpoint(const std::string& path);
+/// CRC or format errors. `env` = nullptr uses Env::Default().
+Result<CheckpointData> ReadCheckpoint(const std::string& path,
+                                      Env* env = nullptr);
 
 /// Schema wire helpers (shared with tests).
 void EncodeSchema(const Schema& schema, std::vector<uint8_t>* dst);

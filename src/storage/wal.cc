@@ -1,13 +1,18 @@
 #include "storage/wal.h"
 
-#include <unistd.h>
-
 #include <cstring>
 
 #include "catalog/row.h"
 #include "util/coding.h"
 
 namespace sqlledger {
+
+namespace {
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+}  // namespace
 
 void WalCommitRecord::EncodeTo(std::vector<uint8_t>* dst) const {
   PutVarint64(dst, txn_id);
@@ -91,31 +96,53 @@ Result<WalCommitRecord> WalCommitRecord::Decode(Slice payload) {
   return rec;
 }
 
-Wal::Wal(std::string path, std::FILE* file, WalOptions options)
-    : path_(std::move(path)), file_(file), options_(options) {}
+Wal::Wal(std::string path, std::unique_ptr<WritableFile> file,
+         WalOptions options)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 Wal::~Wal() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) file_->Close();
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                                        WalOptions options) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr)
-    return Status::IOError("cannot open WAL file: " + path);
-  return std::unique_ptr<Wal>(new Wal(path, f, options));
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  auto file = env->NewWritableFile(path, WritableFileOptions{});
+  if (!file.ok())
+    return Status::IOError("cannot open WAL file " + path + ": " +
+                           file.status().message());
+  return std::unique_ptr<Wal>(new Wal(path, std::move(*file), options));
+}
+
+Status Wal::Poison(Status error) {
+  // First failure wins; it names the record at the hole.
+  if (sticky_error_.ok())
+    sticky_error_ = Status::IOError("WAL poisoned after lost write: " +
+                                    error.ToString());
+  return error;
 }
 
 Status Wal::AppendRecord(Slice payload) {
-  std::vector<uint8_t> header;
-  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&header, Crc32c(payload));
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size())
-    return Status::IOError("WAL write failed");
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  bytes_written_ += header.size() + payload.size();
-  if (options_.sync) return Sync();
+  if (!sticky_error_.ok()) return sticky_error_;
+  // Frame header and payload go out as one write so a torn append tears
+  // one record, not a header/payload split the replayer would misparse.
+  std::vector<uint8_t> frame;
+  frame.reserve(8 + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32c(payload));
+  frame.insert(frame.end(), payload.data(), payload.data() + payload.size());
+  Status st = file_->Append(Slice(frame));
+  if (!st.ok()) return Poison(st);
+  st = file_->Flush();
+  if (!st.ok()) return Poison(st);
+  bytes_written_ += frame.size();
+  if (options_.sync) {
+    st = file_->Sync();
+    if (!st.ok()) return Poison(st);
+  }
   return Status::OK();
 }
 
@@ -126,49 +153,71 @@ Status Wal::AppendCommit(const WalCommitRecord& record) {
 }
 
 Status Wal::Reset() {
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr)
-    return Status::IOError("cannot truncate WAL file: " + path_);
+  file_->Close();
+  file_ = nullptr;
+  // Keep the outgoing log as the fallback generation: if the checkpoint
+  // just written turns out unreadable, recovery loads the previous
+  // checkpoint and replays path.prev + path to reach the same state.
+  Status st = env_->RenameFile(path_, path_ + ".prev");
+  if (st.ok()) {
+    auto file =
+        env_->NewWritableFile(path_, WritableFileOptions{.truncate = true});
+    if (file.ok()) {
+      file_ = std::move(*file);
+      st = env_->SyncDir(ParentDir(path_));
+    } else {
+      st = file.status();
+    }
+  }
+  if (!st.ok()) {
+    // No usable log file: poison so appends fail instead of vanishing.
+    sticky_error_ =
+        Status::IOError("WAL unavailable after failed reset: " + st.ToString());
+    return st;
+  }
   bytes_written_ = 0;
+  sticky_error_ = Status::OK();  // fresh log, no hole to append past
   return Status::OK();
 }
 
 Status Wal::Sync() {
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  // fileno+fsync keeps this portable across POSIX systems.
-  if (fsync(fileno(file_)) != 0) return Status::IOError("WAL fsync failed");
+  if (!sticky_error_.ok()) return sticky_error_;
+  SL_RETURN_IF_ERROR(file_->Flush());
+  Status st = file_->Sync();
+  if (!st.ok()) return Poison(st);
   return Status::OK();
 }
 
 Result<uint64_t> Wal::Replay(
     const std::string& path,
-    const std::function<Status(Slice payload)>& fn) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return static_cast<uint64_t>(0);  // no log yet
+    const std::function<Status(Slice payload)>& fn, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewSequentialFile(path);
+  if (!file.ok()) {
+    if (file.status().IsNotFound()) return static_cast<uint64_t>(0);
+    return file.status();
+  }
 
   uint64_t records = 0;
   std::vector<uint8_t> buf;
   while (true) {
     uint8_t header[8];
-    size_t n = std::fread(header, 1, 8, f);
-    if (n < 8) break;  // clean EOF or torn header: stop
+    auto n = (*file)->Read(8, header);
+    if (!n.ok()) return n.status();
+    if (*n < 8) break;  // clean EOF or torn header: stop
     uint32_t len = 0, crc = 0;
     for (int i = 0; i < 4; i++) len |= static_cast<uint32_t>(header[i]) << (8 * i);
     for (int i = 0; i < 4; i++)
       crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
     if (len > (1u << 30)) break;  // implausible length: treat as torn tail
     buf.resize(len);
-    if (std::fread(buf.data(), 1, len, f) != len) break;  // torn payload
-    if (Crc32c(buf.data(), len) != crc) break;            // corrupt record
-    Status st = fn(Slice(buf));
-    if (!st.ok()) {
-      std::fclose(f);
-      return st;
-    }
+    auto got = (*file)->Read(len, buf.data());
+    if (!got.ok()) return got.status();
+    if (*got != len) break;                    // torn payload
+    if (Crc32c(buf.data(), len) != crc) break;  // corrupt record
+    SL_RETURN_IF_ERROR(fn(Slice(buf)));
     records++;
   }
-  std::fclose(f);
   return records;
 }
 

@@ -7,11 +7,16 @@
 //
 // Records are framed as [fixed32 length][fixed32 crc32c][payload]; replay
 // stops at the first torn or corrupt record, which is then truncated away.
+//
+// All file I/O flows through the Env abstraction, so fault-injection tests
+// can fail writes/fsyncs and simulate crashes. A failed write or sync
+// poisons the writer: once a record may have been lost or torn, no further
+// record is ever appended after the hole (the log would replay past the
+// gap and silently resurrect a prefix of a later transaction's effects).
 
 #ifndef SQLLEDGER_STORAGE_WAL_H_
 #define SQLLEDGER_STORAGE_WAL_H_
 
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +24,7 @@
 
 #include "catalog/value.h"
 #include "crypto/sha256.h"
+#include "storage/env.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -58,9 +64,12 @@ struct WalCommitRecord {
   static Result<WalCommitRecord> Decode(Slice payload);
 };
 
-/// Durability knob: whether AppendRecord fsyncs before returning.
+/// Durability knobs.
 struct WalOptions {
+  /// fsync after every AppendRecord.
   bool sync = false;
+  /// Storage environment; nullptr = Env::Default().
+  Env* env = nullptr;
 };
 
 /// Append-only log file.
@@ -74,15 +83,24 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one framed record. Thread-compatible: callers serialize.
+  /// After any failed write/flush/sync the WAL is poisoned and every
+  /// subsequent append fails with the original error (sticky), because a
+  /// record appended after a hole would replay without its predecessor.
   Status AppendRecord(Slice payload);
   Status AppendCommit(const WalCommitRecord& record);
 
-  /// Truncates the log to empty (after a successful checkpoint).
+  /// Rotates the log after a successful checkpoint: the current file moves
+  /// to `path + ".prev"` (paired with the just-superseded checkpoint, so
+  /// recovery can fall back one checkpoint generation) and a fresh empty
+  /// log is created and made durable. Clears any sticky error — every
+  /// record the new log will hold postdates the checkpoint.
   Status Reset();
 
   Status Sync();
   uint64_t bytes_written() const { return bytes_written_; }
   const std::string& path() const { return path_; }
+  /// Non-OK once a write/sync has failed; all appends return this.
+  const Status& sticky_error() const { return sticky_error_; }
 
   /// Replays every intact record in `path`, invoking `fn` per record.
   /// A torn/corrupt tail is tolerated (replay stops); genuine mid-log
@@ -90,15 +108,19 @@ class Wal {
   /// vs. expectations of the caller. Returns the number of records read.
   static Result<uint64_t> Replay(
       const std::string& path,
-      const std::function<Status(Slice payload)>& fn);
+      const std::function<Status(Slice payload)>& fn, Env* env = nullptr);
 
  private:
-  Wal(std::string path, std::FILE* file, WalOptions options);
+  Wal(std::string path, std::unique_ptr<WritableFile> file, WalOptions options);
+
+  Status Poison(Status error);
 
   std::string path_;
-  std::FILE* file_;
+  std::unique_ptr<WritableFile> file_;
   WalOptions options_;
+  Env* env_;
   uint64_t bytes_written_ = 0;
+  Status sticky_error_;
 };
 
 }  // namespace sqlledger

@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include <vector>
+
 namespace sqlledger {
 
 bool LockModesCompatible(LockMode held, LockMode requested) {
@@ -51,6 +53,24 @@ bool LockManager::CanGrant(const Entry& e, uint64_t txn_id,
   return true;
 }
 
+bool LockManager::WouldDeadlock(uint64_t txn_id) const {
+  // DFS from txn_id through the waits-for graph; only blocked transactions
+  // have out-edges, so the graph is tiny and acyclic unless we deadlocked.
+  std::set<uint64_t> visited;
+  std::vector<uint64_t> stack{txn_id};
+  while (!stack.empty()) {
+    uint64_t cur = stack.back();
+    stack.pop_back();
+    auto edges = waits_for_.find(cur);
+    if (edges == waits_for_.end()) continue;
+    for (uint64_t next : edges->second) {
+      if (next == txn_id) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
 Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
                                   Entry* entry, uint64_t txn_id,
                                   LockMode mode, const char* what) {
@@ -59,12 +79,31 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
     return Status::OK();
 
   auto deadline = std::chrono::steady_clock::now() + timeout_;
+  entry->waiters++;
   while (!CanGrant(*entry, txn_id, mode)) {
+    // Re-derive our waits-for edges each round: the blocking holders change
+    // as other transactions commit, abort, or acquire.
+    std::set<uint64_t> blockers;
+    for (const auto& [holder, held_mode] : entry->holders) {
+      if (holder != txn_id && !LockModesCompatible(held_mode, mode))
+        blockers.insert(holder);
+    }
+    waits_for_[txn_id] = std::move(blockers);
+    if (WouldDeadlock(txn_id)) {
+      waits_for_.erase(txn_id);
+      entry->waiters--;
+      return Status::Aborted(std::string("deadlock detected on ") + what);
+    }
     if (cv_.wait_until(*lock, deadline) == std::cv_status::timeout) {
+      if (CanGrant(*entry, txn_id, mode)) break;
+      waits_for_.erase(txn_id);
+      entry->waiters--;
       return Status::Aborted(std::string("lock timeout on ") + what +
                              " (possible deadlock)");
     }
   }
+  waits_for_.erase(txn_id);
+  entry->waiters--;
   held = entry->holders.find(txn_id);
   entry->holders[txn_id] = held == entry->holders.end()
                                ? mode
@@ -90,7 +129,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
   for (auto& [table_id, row_map] : rows_) {
     for (auto it = row_map.begin(); it != row_map.end();) {
       it->second.holders.erase(txn_id);
-      if (it->second.holders.empty()) {
+      if (it->second.holders.empty() && it->second.waiters == 0) {
         it = row_map.erase(it);
       } else {
         ++it;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 
 #include "catalog/value.h"
 #include "util/status.h"
@@ -57,18 +58,27 @@ class LockManager {
   struct Entry {
     // txn -> strongest mode held. Usually tiny.
     std::map<uint64_t, LockMode> holders;
+    // Transactions blocked in AcquireLocked hold a pointer to this entry
+    // across cv_ waits; ReleaseAll must not erase it while waiters > 0.
+    int waiters = 0;
   };
 
   bool CanGrant(const Entry& e, uint64_t txn_id, LockMode mode) const;
   Status AcquireLocked(std::unique_lock<std::mutex>* lock, Entry* entry,
                        uint64_t txn_id, LockMode mode,
                        const char* what);
+  bool WouldDeadlock(uint64_t txn_id) const;
 
   std::chrono::milliseconds timeout_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<uint32_t, Entry> tables_;
   std::map<uint32_t, std::map<KeyTuple, Entry, KeyTupleLess>> rows_;
+  // Waits-for graph over currently blocked transactions: txn -> the holders
+  // it is waiting on. A blocked acquire that closes a cycle here is a
+  // deadlock and aborts immediately instead of stalling until the timeout
+  // (the timeout remains as a backstop for edges this graph cannot see).
+  std::map<uint64_t, std::set<uint64_t>> waits_for_;
 };
 
 }  // namespace sqlledger

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "ledger/digest_store.h"
 #include "ledger/verifier.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -165,6 +170,113 @@ TEST_P(TamperFuzz, EveryRandomMutationIsDetected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TamperFuzz, ::testing::Range(1, 33));
+
+// The same zero-false-negative property for the OTHER side of verification:
+// the trusted digest store itself. Any storage-level mutation of an on-disk
+// digest blob — bit flips anywhere in the file, truncation to any prefix —
+// must surface as an error or a violation, never as a clean report built on
+// a corrupted digest.
+class DigestBlobTamperFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("sl_blobfuzz_" + std::to_string(::getpid()) + "_" +
+             std::to_string(GetParam()));
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+
+    db_ = OpenTestDb(/*block_size=*/4);
+    ASSERT_TRUE(db_->CreateTable("accounts", AccountSchema(),
+                                 TableKind::kUpdateable)
+                    .ok());
+    auto store = ImmutableBlobDigestStore::Open(root_.string());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    for (int i = 0; i < 9; i++) {
+      auto txn = db_->Begin("app");
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                              {VS("acct" + std::to_string(i)), VB(i * 10)})
+                      .ok());
+      ASSERT_TRUE(db_->Commit(*txn).ok());
+      if (i % 3 == 2) {
+        ASSERT_TRUE(GenerateAndUploadDigest(db_.get(), store_.get()).ok());
+      }
+    }
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    for (auto it = std::filesystem::recursive_directory_iterator(
+             root_, std::filesystem::directory_options::skip_permission_denied,
+             ec);
+         it != std::filesystem::recursive_directory_iterator(); ++it) {
+      std::filesystem::permissions(it->path(),
+                                   std::filesystem::perms::owner_all,
+                                   std::filesystem::perm_options::add, ec);
+    }
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  std::vector<std::filesystem::path> BlobFiles() {
+    std::vector<std::filesystem::path> out;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root_)) {
+      if (entry.is_regular_file()) out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<LedgerDatabase> db_;
+  std::unique_ptr<ImmutableBlobDigestStore> store_;
+};
+
+TEST_P(DigestBlobTamperFuzz, EveryBlobMutationIsDetected) {
+  // Untampered baseline: the store-driven verification is clean.
+  auto clean = VerifyLedgerAgainstStore(db_.get(), *store_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(clean->ok()) << clean->Summary();
+
+  auto blobs = BlobFiles();
+  ASSERT_GE(blobs.size(), 3u);
+  Random rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 11);
+  const std::filesystem::path& victim = blobs[rng.Uniform(blobs.size())];
+  // Blobs are stored read-only; the storage-level attacker of §2.5.2 is
+  // not bound by the access layer's permissions.
+  std::filesystem::permissions(victim, std::filesystem::perms::owner_all,
+                               std::filesystem::perm_options::add);
+  const auto size = std::filesystem::file_size(victim);
+  ASSERT_GT(size, 0u);
+
+  uint64_t kind = rng.Uniform(3);
+  switch (kind) {
+    case 0: {  // flip one bit anywhere in the blob
+      std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+      size_t offset = rng.Uniform(size);
+      f.seekg(static_cast<std::streamoff>(offset));
+      char byte = 0;
+      f.get(byte);
+      f.seekp(static_cast<std::streamoff>(offset));
+      f.put(static_cast<char>(byte ^ (1 << rng.Uniform(8))));
+      break;
+    }
+    case 1:  // truncate to a random proper prefix
+      std::filesystem::resize_file(victim, rng.Uniform(size));
+      break;
+    case 2:  // truncate to nothing
+      std::filesystem::resize_file(victim, 0);
+      break;
+  }
+
+  auto report = VerifyLedgerAgainstStore(db_.get(), *store_);
+  EXPECT_FALSE(report.ok() && report->ok())
+      << "undetected digest-blob tampering of kind " << kind << " on "
+      << victim << " (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigestBlobTamperFuzz, ::testing::Range(1, 17));
 
 }  // namespace
 }  // namespace sqlledger

@@ -130,6 +130,40 @@ TEST_F(WalTest, TornTailIsTolerated) {
   EXPECT_EQ(*count, 4u);  // last record torn away
 }
 
+TEST_F(WalTest, TornTailToleratedAtEveryByteOffset) {
+  // Write a multi-record log, then simulate a crash tearing the FINAL
+  // record at every possible byte boundary — mid-header, mid-length,
+  // mid-CRC, every prefix of the payload. Replay must always return
+  // exactly the four intact records, never an error, never a fifth.
+  {
+    auto wal = Wal::Open(Path("wal.log"), WalOptions{});
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 5; i++)
+      ASSERT_TRUE((*wal)->AppendCommit(MakeRecord(i)).ok());
+  }
+  std::vector<uint8_t> last_payload;
+  MakeRecord(4).EncodeTo(&last_payload);
+  const size_t last_frame = 8 + last_payload.size();
+  const size_t full_size = std::filesystem::file_size(Path("wal.log"));
+  ASSERT_GT(full_size, last_frame);
+  const size_t last_start = full_size - last_frame;
+
+  for (size_t cut = last_start; cut <= full_size; cut++) {
+    std::filesystem::copy_file(
+        Path("wal.log"), Path("torn.log"),
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(Path("torn.log"), cut);
+    uint64_t seen = 0;
+    auto count = Wal::Replay(Path("torn.log"), [&](Slice) {
+      seen++;
+      return Status::OK();
+    });
+    ASSERT_TRUE(count.ok()) << "cut at byte " << cut << ": "
+                            << count.status().ToString();
+    EXPECT_EQ(*count, cut == full_size ? 5u : 4u) << "cut at byte " << cut;
+  }
+}
+
 TEST_F(WalTest, CorruptRecordStopsReplay) {
   {
     auto wal = Wal::Open(Path("wal.log"), WalOptions{});
