@@ -1,11 +1,16 @@
 // §3.2.1 microbenchmark: the streaming Merkle-root algorithm. Confirms
 // O(N) time (ns/leaf flat as N grows) and O(log N) space, plus the cost of
-// proof generation/verification on the materialized tree.
+// proof generation/verification on the materialized tree, and the batched
+// leaf-hash path against the one-at-a-time path. Run with
+// SQLLEDGER_FORCE_SCALAR_SHA=1 to compare against the scalar kernel.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_kernel.h"
 
 using namespace sqlledger;
 
@@ -77,12 +82,44 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 
+void BM_LeafHashOneAtATime(benchmark::State& state) {
+  // The pre-batching hot path: one MerkleLeafHash call per 260-byte leaf.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string data(260, 'x');
+  std::vector<Hash256> out(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; i++) out[i] = MerkleLeafHash(Slice(data));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_LeafHashBatched(benchmark::State& state) {
+  // Same work through MerkleLeafHashMany (what commit/verify now use).
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string data(260, 'x');
+  std::vector<Slice> inputs(n, Slice(data));
+  std::vector<Hash256> out(n);
+  for (auto _ : state) {
+    MerkleLeafHashMany(inputs.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 BENCHMARK(BM_StreamingRoot)->Range(256, 262144);
 BENCHMARK(BM_MaterializedRoot)->Range(256, 65536);
 BENCHMARK(BM_SavepointSnapshot)->Range(256, 262144);
 BENCHMARK(BM_ProveAndVerify)->Range(256, 65536);
 BENCHMARK(BM_Sha256)->Range(64, 65536);
+BENCHMARK(BM_LeafHashOneAtATime)->Range(1024, 65536);
+BENCHMARK(BM_LeafHashBatched)->Range(1024, 65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("sha256 kernel: %s\n", sqlledger::Sha256::KernelName());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

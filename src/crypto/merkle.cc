@@ -1,5 +1,9 @@
 #include "crypto/merkle.h"
 
+#include <cstring>
+
+#include "crypto/sha256_kernel.h"
+
 namespace sqlledger {
 
 namespace {
@@ -8,18 +12,20 @@ constexpr uint8_t kNodePrefix = 0x01;
 }  // namespace
 
 Hash256 MerkleLeafHash(Slice data) {
-  Sha256 ctx;
-  ctx.Update(&kLeafPrefix, 1);
-  ctx.Update(data);
-  return ctx.Finish();
+  return Sha256DigestWithKernel(ActiveSha256Kernel(), Slice(&kLeafPrefix, 1),
+                                data);
 }
 
 Hash256 MerkleNodeHash(const Hash256& left, const Hash256& right) {
-  Sha256 ctx;
-  ctx.Update(&kNodePrefix, 1);
-  ctx.Update(left.AsSlice());
-  ctx.Update(right.AsSlice());
-  return ctx.Finish();
+  uint8_t buf[64];
+  std::memcpy(buf, left.bytes.data(), 32);
+  std::memcpy(buf + 32, right.bytes.data(), 32);
+  return Sha256DigestWithKernel(ActiveSha256Kernel(), Slice(&kNodePrefix, 1),
+                                Slice(buf, 64));
+}
+
+void MerkleLeafHashMany(const Slice* inputs, size_t n, Hash256* out) {
+  HashManyWithPrefix(kLeafPrefix, inputs, n, out);
 }
 
 void MerkleBuilder::AddLeafHash(const Hash256& leaf_hash) {
@@ -64,18 +70,20 @@ Hash256 MerkleBuilder::Root() const {
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaf_hashes)
     : leaf_count_(leaf_hashes.size()) {
+  static_assert(sizeof(Hash256) == 32, "adjacent hashes must be contiguous");
   levels_.push_back(std::move(leaf_hashes));
+  std::vector<Slice> pair_inputs;
   while (levels_.back().size() > 1) {
     const std::vector<Hash256>& cur = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((cur.size() + 1) / 2);
-    for (size_t i = 0; i < cur.size(); i += 2) {
-      if (i + 1 < cur.size()) {
-        next.push_back(MerkleNodeHash(cur[i], cur[i + 1]));
-      } else {
-        next.push_back(cur[i]);  // promote the lone tail node
-      }
-    }
+    // Each parent's preimage (left || right) is 64 contiguous bytes inside
+    // the level vector, so the whole level batches with zero copies.
+    size_t pairs = cur.size() / 2;
+    pair_inputs.resize(pairs);
+    for (size_t i = 0; i < pairs; i++)
+      pair_inputs[i] = Slice(cur[2 * i].bytes.data(), 64);
+    std::vector<Hash256> next((cur.size() + 1) / 2);
+    HashManyWithPrefix(kNodePrefix, pair_inputs.data(), pairs, next.data());
+    if (cur.size() % 2 != 0) next.back() = cur.back();  // promote lone tail
     levels_.push_back(std::move(next));
   }
 }

@@ -32,6 +32,11 @@ Hash256 MerkleLeafHash(Slice data);
 /// Combine two child hashes with node domain separation.
 Hash256 MerkleNodeHash(const Hash256& left, const Hash256& right);
 
+/// Batched leaf hashing: out[i] = MerkleLeafHash(inputs[i]) through the
+/// dispatched SHA-256 kernel. The entry point for hot callers that hash
+/// many independent leaves (commit-path block closes, verification).
+void MerkleLeafHashMany(const Slice* inputs, size_t n, Hash256* out);
+
 /// Snapshot of a MerkleBuilder: O(log N) pending nodes plus the leaf count.
 /// Stored in savepoint records so a partial rollback can restore the tree.
 struct MerkleBuilderState {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/sha256_kernel.h"
 #include "util/hex.h"
 
 namespace sqlledger {
@@ -14,23 +15,6 @@ bool Hash256::FromHex(const std::string& hex, Hash256* out) {
   std::memcpy(out->bytes.data(), decoded->data(), 32);
   return true;
 }
-
-namespace {
-constexpr uint32_t kRoundConstants[64] = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-inline uint32_t RotR(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
-}  // namespace
 
 void Sha256::Reset() {
   state_[0] = 0x6a09e667;
@@ -45,51 +29,8 @@ void Sha256::Reset() {
   buffer_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; i++) {
-    w[i] = static_cast<uint32_t>(block[i * 4]) << 24 |
-           static_cast<uint32_t>(block[i * 4 + 1]) << 16 |
-           static_cast<uint32_t>(block[i * 4 + 2]) << 8 |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; i++) {
-    uint32_t s0 = RotR(w[i - 15], 7) ^ RotR(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = RotR(w[i - 2], 17) ^ RotR(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; i++) {
-    uint32_t s1 = RotR(e, 6) ^ RotR(e, 11) ^ RotR(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    uint32_t s0 = RotR(a, 2) ^ RotR(a, 13) ^ RotR(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 void Sha256::Update(Slice data) {
+  const Sha256CompressFn compress = ActiveSha256Kernel().compress;
   const uint8_t* p = data.data();
   size_t n = data.size();
   total_len_ += n;
@@ -102,14 +43,15 @@ void Sha256::Update(Slice data) {
     p += take;
     n -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      compress(state_, buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= 64) {
-    ProcessBlock(p);
-    p += 64;
-    n -= 64;
+  size_t whole = n / 64;
+  if (whole > 0) {
+    compress(state_, p, whole);
+    p += whole * 64;
+    n -= whole * 64;
   }
   if (n > 0) {
     std::memcpy(buffer_, p, n);
@@ -139,9 +81,7 @@ Hash256 Sha256::Finish() {
 }
 
 Hash256 Sha256::Digest(Slice data) {
-  Sha256 ctx;
-  ctx.Update(data);
-  return ctx.Finish();
+  return Sha256DigestWithKernel(ActiveSha256Kernel(), Slice(), data);
 }
 
 Hash256 Sha256::Digest2(Slice a, Slice b) {
@@ -149,6 +89,31 @@ Hash256 Sha256::Digest2(Slice a, Slice b) {
   ctx.Update(a);
   ctx.Update(b);
   return ctx.Finish();
+}
+
+const char* Sha256::KernelName() { return ActiveSha256Kernel().name; }
+
+void HashMany(const Slice* inputs, size_t n, Hash256* out) {
+  const Sha256Kernel& kernel = ActiveSha256Kernel();
+  for (size_t i = 0; i < n; i++)
+    out[i] = Sha256DigestWithKernel(kernel, Slice(), inputs[i]);
+}
+
+void HashManyWithPrefix(uint8_t prefix_byte, const Slice* inputs, size_t n,
+                        Hash256* out) {
+  const Sha256Kernel& kernel = ActiveSha256Kernel();
+  Slice prefix(&prefix_byte, 1);
+  for (size_t i = 0; i < n; i++)
+    out[i] = Sha256DigestWithKernel(kernel, prefix, inputs[i]);
+}
+
+void Sha256Batch::Run() {
+  const Sha256Kernel& kernel = ActiveSha256Kernel();
+  for (const Job& job : jobs_) {
+    Slice prefix = job.has_prefix ? Slice(&job.prefix, 1) : Slice();
+    *job.out = Sha256DigestWithKernel(kernel, prefix, job.data);
+  }
+  jobs_.clear();
 }
 
 }  // namespace sqlledger

@@ -1,0 +1,90 @@
+// ARMv8 crypto-extension compression kernel (sha256h/sha256h2/sha256su0/
+// sha256su1). Compiled with -march=armv8-a+crypto on aarch64 builds (see
+// src/CMakeLists.txt) and only called when the kernel reports the SHA2
+// HWCAP at runtime, mirroring the x86 SHA-NI gating.
+
+#include "crypto/sha256_kernel.h"
+
+#if defined(SQLLEDGER_HAVE_ARMV8_SHA)
+
+#include <arm_neon.h>
+
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_SHA2
+#define HWCAP_SHA2 (1 << 6)
+#endif
+#endif
+
+namespace sqlledger {
+
+namespace {
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+}  // namespace
+
+bool Armv8ShaSupported() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_SHA2) != 0;
+#elif defined(__APPLE__)
+  return true;  // all Apple aarch64 cores implement the SHA2 extension
+#else
+  return false;
+#endif
+}
+
+void Sha256CompressArmv8(uint32_t state[8], const uint8_t* blocks,
+                         size_t n_blocks) {
+  uint32x4_t st0 = vld1q_u32(&state[0]);  // a b c d
+  uint32x4_t st1 = vld1q_u32(&state[4]);  // e f g h
+
+  while (n_blocks-- > 0) {
+    const uint32x4_t abcd_save = st0;
+    const uint32x4_t efgh_save = st1;
+
+    // Load the 16 message words, big-endian.
+    uint32x4_t msg0 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks)));
+    uint32x4_t msg1 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks + 16)));
+    uint32x4_t msg2 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks + 32)));
+    uint32x4_t msg3 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks + 48)));
+    blocks += 64;
+
+    // Quartet i consumes the register currently rotated into msg0 with
+    // K[4i..4i+3]; quartets 0-11 also extend the schedule four words
+    // (W[16+4i..19+4i]), which rotate back into consumption position four
+    // quartets later. The compiler fully unrolls this.
+    for (int i = 0; i < 16; i++) {
+      uint32x4_t wk = vaddq_u32(msg0, vld1q_u32(&kK[4 * i]));
+      uint32x4_t prev_st0 = st0;
+      st0 = vsha256hq_u32(st0, st1, wk);
+      st1 = vsha256h2q_u32(st1, prev_st0, wk);
+      uint32x4_t next = msg0;
+      if (i < 12)
+        next = vsha256su1q_u32(vsha256su0q_u32(msg0, msg1), msg2, msg3);
+      msg0 = msg1;
+      msg1 = msg2;
+      msg2 = msg3;
+      msg3 = next;
+    }
+
+    st0 = vaddq_u32(st0, abcd_save);
+    st1 = vaddq_u32(st1, efgh_save);
+  }
+
+  vst1q_u32(&state[0], st0);
+  vst1q_u32(&state[4], st1);
+}
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_HAVE_ARMV8_SHA

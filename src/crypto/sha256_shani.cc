@@ -1,0 +1,226 @@
+// x86 SHA-NI compression kernel. Compiled with -msha -msse4.1 (see
+// src/CMakeLists.txt); only ever *called* when __builtin_cpu_supports("sha")
+// says the CPU has the extension, so building it on any x86 toolchain is
+// safe. The round structure follows the Intel SHA extensions white paper:
+// state is held as two 128-bit lanes in the ABEF/CDGH layout that
+// sha256rnds2 expects, four message words are consumed per round quartet,
+// and the message schedule is advanced with sha256msg1/sha256msg2. The 16
+// quartets are fully unrolled — the schedule-update dependency pattern
+// rotates across four message registers and resists clean rolling.
+
+#include "crypto/sha256_kernel.h"
+
+#if defined(SQLLEDGER_HAVE_SHA_NI)
+
+#include <immintrin.h>
+
+namespace sqlledger {
+
+namespace {
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+}  // namespace
+
+void Sha256CompressShaNi(uint32_t state[8], const uint8_t* blocks,
+                         size_t n_blocks) {
+  const __m128i* k = reinterpret_cast<const __m128i*>(kK);
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // state[] holds a..h as plain uint32. Pack into the ABEF / CDGH lanes.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);            // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);            // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);    // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);         // CDGH
+
+  while (n_blocks-- > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg, tmsg;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)),
+        kShuffleMask);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)),
+        kShuffleMask);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)),
+        kShuffleMask);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kShuffleMask);
+    blocks += 64;
+
+    // Rounds 0-3.
+    msg = _mm_add_epi32(msg0, _mm_load_si128(k + 0));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 4-7.
+    msg = _mm_add_epi32(msg1, _mm_load_si128(k + 1));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg = _mm_add_epi32(msg2, _mm_load_si128(k + 2));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg = _mm_add_epi32(msg3, _mm_load_si128(k + 3));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(msg0, _mm_load_si128(k + 4));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(msg1, _mm_load_si128(k + 5));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(msg2, _mm_load_si128(k + 6));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(msg3, _mm_load_si128(k + 7));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(msg0, _mm_load_si128(k + 8));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(msg1, _mm_load_si128(k + 9));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(msg2, _mm_load_si128(k + 10));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(msg3, _mm_load_si128(k + 11));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(msg0, _mm_load_si128(k + 12));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(msg1, _mm_load_si128(k + 13));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(msg2, _mm_load_si128(k + 14));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, _mm_load_si128(k + 15));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+  }
+
+  // Unpack ABEF/CDGH back into a..h.
+  tmp = _mm_shuffle_epi32(st0, 0x1B);            // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);            // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);         // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);            // ABEF -> HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_HAVE_SHA_NI

@@ -164,10 +164,7 @@ Status DatabaseLedger::Append(TransactionEntry entry) {
 Status DatabaseLedger::CloseOpenBlockLocked() {
   // Merkle tree over the entries in ordinal order; AssignSlot/Append keep
   // open_entries_ ordinal-ordered by construction.
-  std::vector<Hash256> leaves;
-  leaves.reserve(open_entries_.size());
-  for (const TransactionEntry& e : open_entries_) leaves.push_back(e.LeafHash());
-  MerkleTree tree(std::move(leaves));
+  MerkleTree tree(TransactionLeafHashes(open_entries_));
 
   BlockRecord block;
   block.block_id = open_block_id_;
@@ -209,17 +206,27 @@ Result<DatabaseDigest> DatabaseLedger::GenerateDigest(
 Result<bool> DatabaseLedger::VerifyDigestChain(
     const DatabaseDigest& older, const DatabaseDigest& newer) const {
   if (older.block_id > newer.block_id) return false;
-  auto older_block = FindBlock(older.block_id);
-  if (!older_block.ok()) return false;
-  Hash256 running = older_block->ComputeHash();
-  if (running != older.block_hash) return false;
-  for (uint64_t b = older.block_id + 1; b <= newer.block_id; b++) {
-    auto block = FindBlock(b);
+  // One ordered scan over [older, newer] instead of per-block point lookups;
+  // each block's hash is computed exactly once and carried forward.
+  KeyTuple start_key{Value::BigInt(static_cast<int64_t>(older.block_id))};
+  BTree::Iterator it = blocks_table_->Seek(start_key);
+  uint64_t expected = older.block_id;
+  Hash256 running;
+  for (; it.Valid(); it.Next()) {
+    auto block = RowToBlockRecord(it.value());
     if (!block.ok()) return false;
-    if (block->previous_block_hash != running) return false;
-    running = block->ComputeHash();
+    if (block->block_id != expected) return false;  // gap in the chain
+    if (expected == older.block_id) {
+      running = block->ComputeHash();
+      if (running != older.block_hash) return false;
+    } else {
+      if (block->previous_block_hash != running) return false;
+      running = block->ComputeHash();
+    }
+    if (block->block_id == newer.block_id) return running == newer.block_hash;
+    expected++;
   }
-  return running == newer.block_hash;
+  return false;  // ran off the end before reaching `newer`
 }
 
 Status DatabaseLedger::DrainQueue() {
@@ -409,6 +416,18 @@ Result<TransactionEntry> DatabaseLedger::FindEntry(uint64_t txn_id) const {
   return RowToTransactionEntry(*row);
 }
 
+std::vector<BlockRecord> DatabaseLedger::AllBlocks() const {
+  std::vector<BlockRecord> out;
+  out.reserve(blocks_table_->row_count());
+  for (BTree::Iterator it = blocks_table_->Scan(); it.Valid(); it.Next()) {
+    auto block = RowToBlockRecord(it.value());
+    // Unparsable rows are omitted, like a missing row; the verifier reports
+    // the resulting chain gap via invariants 2/3.
+    if (block.ok()) out.push_back(std::move(*block));
+  }
+  return out;
+}
+
 Result<BlockRecord> DatabaseLedger::FindBlock(uint64_t block_id) const {
   KeyTuple key{Value::BigInt(static_cast<int64_t>(block_id))};
   const Row* row = blocks_table_->Get(key);
@@ -454,11 +473,7 @@ Result<MerkleProof> DatabaseLedger::ProveTransaction(uint64_t txn_id) const {
             [](const TransactionEntry& a, const TransactionEntry& b) {
               return a.block_ordinal < b.block_ordinal;
             });
-  std::vector<Hash256> leaves;
-  leaves.reserve(block_entries.size());
-  for (const TransactionEntry& e : block_entries)
-    leaves.push_back(e.LeafHash());
-  MerkleTree tree(std::move(leaves));
+  MerkleTree tree(TransactionLeafHashes(block_entries));
   return tree.Prove(entry->block_ordinal);
 }
 

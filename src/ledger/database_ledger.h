@@ -132,6 +132,11 @@ class DatabaseLedger {
   /// Looks up a closed block.
   Result<BlockRecord> FindBlock(uint64_t block_id) const;
 
+  /// Every closed block in id (clustered) order — one ordered scan of the
+  /// blocks system table. Rows that fail to parse are omitted; the verifier
+  /// reports the resulting gaps. Preferred over FindBlock loops.
+  std::vector<BlockRecord> AllBlocks() const;
+
   /// Merkle proof that the given transaction is part of its (closed)
   /// block's transaction tree (paper §3.3.1 requirement 4; receipts §5.1).
   Result<MerkleProof> ProveTransaction(uint64_t txn_id) const;

@@ -53,15 +53,14 @@ void SerializeValue(const Value& v, std::vector<uint8_t>* out) {
 }
 }  // namespace
 
-std::vector<uint8_t> SerializeRowVersion(const Schema& schema, const Row& row,
-                                         RowOp op, uint32_t table_id,
-                                         uint64_t txn_id, uint64_t sequence) {
-  std::vector<uint8_t> out;
-  out.push_back(kFormatVersion);
-  out.push_back(static_cast<uint8_t>(op));
-  PutFixed32(&out, table_id);
-  PutFixed64(&out, txn_id);
-  PutFixed64(&out, sequence);
+void AppendRowVersion(const Schema& schema, const Row& row, RowOp op,
+                      uint32_t table_id, uint64_t txn_id, uint64_t sequence,
+                      std::vector<uint8_t>* out) {
+  out->push_back(kFormatVersion);
+  out->push_back(static_cast<uint8_t>(op));
+  PutFixed32(out, table_id);
+  PutFixed64(out, txn_id);
+  PutFixed64(out, sequence);
 
   // Count non-NULL, non-hidden columns first: the column count is part of
   // the hashed metadata (Figure 4).
@@ -70,17 +69,24 @@ std::vector<uint8_t> SerializeRowVersion(const Schema& schema, const Row& row,
     if (schema.column(i).hidden) continue;
     if (!row[i].is_null()) count++;
   }
-  PutVarint32(&out, count);
+  PutVarint32(out, count);
 
   for (size_t i = 0; i < schema.num_columns(); i++) {
     const ColumnDef& col = schema.column(i);
     if (col.hidden) continue;
     const Value& v = row[i];
     if (v.is_null()) continue;  // NULLs skipped (paper §3.5.1)
-    PutVarint32(&out, col.column_id);                 // stable column id
-    out.push_back(static_cast<uint8_t>(col.type));    // declared type
-    SerializeValue(v, &out);                          // length + raw bytes
+    PutVarint32(out, col.column_id);                  // stable column id
+    out->push_back(static_cast<uint8_t>(col.type));   // declared type
+    SerializeValue(v, out);                           // length + raw bytes
   }
+}
+
+std::vector<uint8_t> SerializeRowVersion(const Schema& schema, const Row& row,
+                                         RowOp op, uint32_t table_id,
+                                         uint64_t txn_id, uint64_t sequence) {
+  std::vector<uint8_t> out;
+  AppendRowVersion(schema, row, op, table_id, txn_id, sequence, &out);
   return out;
 }
 
@@ -89,6 +95,25 @@ Hash256 RowVersionLeafHash(const Schema& schema, const Row& row, RowOp op,
                            uint64_t sequence) {
   return MerkleLeafHash(
       Slice(SerializeRowVersion(schema, row, op, table_id, txn_id, sequence)));
+}
+
+void RowVersionLeafHashMany(const RowVersionHashJob* jobs, size_t n,
+                            Hash256* out) {
+  std::vector<uint8_t> arena;
+  std::vector<size_t> offsets;
+  offsets.reserve(n + 1);
+  for (size_t i = 0; i < n; i++) {
+    offsets.push_back(arena.size());
+    const RowVersionHashJob& j = jobs[i];
+    AppendRowVersion(*j.schema, *j.row, j.op, j.table_id, j.txn_id,
+                     j.sequence, &arena);
+  }
+  offsets.push_back(arena.size());
+
+  std::vector<Slice> inputs(n);
+  for (size_t i = 0; i < n; i++)
+    inputs[i] = Slice(arena.data() + offsets[i], offsets[i + 1] - offsets[i]);
+  MerkleLeafHashMany(inputs.data(), n, out);
 }
 
 }  // namespace sqlledger

@@ -42,12 +42,37 @@ std::vector<uint8_t> SerializeRowVersion(const Schema& schema, const Row& row,
                                          RowOp op, uint32_t table_id,
                                          uint64_t txn_id, uint64_t sequence);
 
+/// As SerializeRowVersion, but appends to `out` (batch serialization into a
+/// shared arena without per-row allocations).
+void AppendRowVersion(const Schema& schema, const Row& row, RowOp op,
+                      uint32_t table_id, uint64_t txn_id, uint64_t sequence,
+                      std::vector<uint8_t>* out);
+
 /// Merkle leaf hash of the serialized version — what DML appends to the
 /// transaction's per-table streaming Merkle tree and what verification
 /// recomputes.
 Hash256 RowVersionLeafHash(const Schema& schema, const Row& row, RowOp op,
                            uint32_t table_id, uint64_t txn_id,
                            uint64_t sequence);
+
+/// One row version in a batched leaf-hash request. The referenced schema
+/// and row must stay alive until the call returns.
+struct RowVersionHashJob {
+  const Schema* schema = nullptr;
+  const Row* row = nullptr;
+  RowOp op = RowOp::kInsert;
+  uint32_t table_id = 0;
+  uint64_t txn_id = 0;
+  uint64_t sequence = 0;
+};
+
+/// Batched version of RowVersionLeafHash: serializes every job into one
+/// arena and hashes through the batched SHA-256 interface. out[i] matches
+/// RowVersionLeafHash(jobs[i]...) bit for bit. The verifier's leaf
+/// recomputation — the dominant verification cost (paper §4.2) — runs
+/// through this.
+void RowVersionLeafHashMany(const RowVersionHashJob* jobs, size_t n,
+                            Hash256* out);
 
 }  // namespace sqlledger
 

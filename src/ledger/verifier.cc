@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "catalog/row.h"
 #include "crypto/merkle.h"
@@ -19,51 +21,53 @@ struct VersionLeaf {
   Hash256 leaf;
 };
 
-/// Rebuilds, for one ledger table, the per-transaction ordered leaf streams
-/// from the current main + history rows — the equivalent of the paper's
-/// LEDGERHASH + MERKLETREEAGG GROUP BY Transaction ID query (§3.4.2).
-void CollectTableLeaves(const LedgerTableRef& table,
-                        std::map<uint64_t, std::vector<VersionLeaf>>* by_txn,
-                        uint64_t* version_count) {
-  const Schema& schema = table.main->schema();
-  auto add_insert = [&](const Row& row) {
-    const Value& start_txn = row[table.start_txn_ord];
-    if (start_txn.is_null()) return;
-    uint64_t txn = static_cast<uint64_t>(start_txn.AsInt64());
-    uint64_t seq = static_cast<uint64_t>(row[table.start_seq_ord].AsInt64());
-    (*by_txn)[txn].push_back(
-        {seq, RowVersionLeafHash(schema, row, RowOp::kInsert, table.table_id,
-                                 txn, seq)});
-    (*version_count)++;
-  };
-  auto add_delete = [&](const Row& row) {
-    const Value& end_txn = row[table.end_txn_ord];
-    if (end_txn.is_null()) return;
-    uint64_t txn = static_cast<uint64_t>(end_txn.AsInt64());
-    uint64_t seq = static_cast<uint64_t>(row[table.end_seq_ord].AsInt64());
-    (*by_txn)[txn].push_back(
-        {seq, RowVersionLeafHash(schema, row, RowOp::kDelete, table.table_id,
-                                 txn, seq)});
-    (*version_count)++;
-  };
+/// One row version discovered by the collection scans. Rows are borrowed
+/// from the B-trees — stable for the whole verification because the
+/// database is quiesced — so the scan itself stays cheap and the expensive
+/// leaf hashing is deferred to the parallel batched phase.
+struct VersionItem {
+  const Row* row = nullptr;
+  RowOp op = RowOp::kInsert;
+  uint64_t txn = 0;
+  uint64_t seq = 0;
+};
 
-  for (BTree::Iterator it = table.main->Scan(); it.Valid(); it.Next())
-    add_insert(it.value());
-  if (table.history != nullptr) {
+/// Collects the row versions contributed by one physical store of a ledger
+/// table: the main store yields one INSERT version per row; the history
+/// store yields the original INSERT plus the retiring DELETE per row — the
+/// equivalent of the paper's LEDGERHASH + MERKLETREEAGG GROUP BY
+/// Transaction ID query (§3.4.2), split per store so scans partition
+/// across the thread pool.
+void CollectStoreVersions(const LedgerTableRef& table, bool from_history,
+                          std::vector<VersionItem>* out) {
+  auto add = [&](const Row& row, bool as_delete) {
+    int txn_ord = as_delete ? table.end_txn_ord : table.start_txn_ord;
+    int seq_ord = as_delete ? table.end_seq_ord : table.start_seq_ord;
+    const Value& txn_val = row[txn_ord];
+    if (txn_val.is_null()) return;
+    out->push_back(VersionItem{
+        &row, as_delete ? RowOp::kDelete : RowOp::kInsert,
+        static_cast<uint64_t>(txn_val.AsInt64()),
+        static_cast<uint64_t>(row[seq_ord].AsInt64())});
+  };
+  if (from_history) {
     for (BTree::Iterator it = table.history->Scan(); it.Valid(); it.Next()) {
-      add_insert(it.value());
-      add_delete(it.value());
+      add(it.value(), /*as_delete=*/false);
+      add(it.value(), /*as_delete=*/true);
     }
+  } else {
+    for (BTree::Iterator it = table.main->Scan(); it.Valid(); it.Next())
+      add(it.value(), /*as_delete=*/false);
   }
 }
 
-Hash256 RootOfLeaves(std::vector<VersionLeaf> leaves) {
-  std::sort(leaves.begin(), leaves.end(),
+Hash256 RootOfLeaves(std::vector<VersionLeaf>* leaves) {
+  std::sort(leaves->begin(), leaves->end(),
             [](const VersionLeaf& a, const VersionLeaf& b) {
               return a.sequence < b.sequence;
             });
   MerkleBuilder builder;
-  for (const VersionLeaf& l : leaves) builder.AddLeafHash(l.leaf);
+  for (const VersionLeaf& l : *leaves) builder.AddLeafHash(l.leaf);
   return builder.Root();
 }
 
@@ -75,11 +79,19 @@ bool InTruncatedRange(const std::vector<TruncationRecord>& truncations,
   return false;
 }
 
-/// Canonical leaf for an index-equivalence tuple (invariant 5).
-Hash256 TupleLeaf(const KeyTuple& tuple) {
-  std::vector<uint8_t> bytes;
-  EncodeRow(tuple, &bytes);
-  return MerkleLeafHash(Slice(bytes));
+/// Merkle root over pre-encoded tuples packed in `arena` at `offsets`
+/// boundaries (invariant 5). Leaf hashes run through the batched interface.
+Hash256 RootOfEncodedTuples(const std::vector<uint8_t>& arena,
+                            const std::vector<size_t>& offsets) {
+  size_t n = offsets.size() - 1;
+  std::vector<Slice> inputs(n);
+  for (size_t i = 0; i < n; i++)
+    inputs[i] = Slice(arena.data() + offsets[i], offsets[i + 1] - offsets[i]);
+  std::vector<Hash256> leaves(n);
+  MerkleLeafHashMany(inputs.data(), n, leaves.data());
+  MerkleBuilder builder;
+  for (const Hash256& leaf : leaves) builder.AddLeafHash(leaf);
+  return builder.Root();
 }
 
 void CheckIndexes(const TableStore& store, VerificationReport* report) {
@@ -98,19 +110,28 @@ void CheckIndexes(const TableStore& store, VerificationReport* report) {
               [](const KeyTuple& a, const KeyTuple& b) {
                 return CompareKeys(a, b) < 0;
               });
-    MerkleBuilder base_root;
-    for (const KeyTuple& t : base_tuples) base_root.AddLeafHash(TupleLeaf(t));
+    std::vector<uint8_t> base_arena;
+    std::vector<size_t> base_offsets;
+    base_offsets.reserve(base_tuples.size() + 1);
+    for (const KeyTuple& t : base_tuples) {
+      base_offsets.push_back(base_arena.size());
+      EncodeRow(t, &base_arena);
+    }
+    base_offsets.push_back(base_arena.size());
 
     // Index side: the stored keys, already in order.
-    MerkleBuilder index_root;
-    uint64_t index_count = 0;
+    std::vector<uint8_t> index_arena;
+    std::vector<size_t> index_offsets;
     for (BTree::Iterator it = idx->tree.Begin(); it.Valid(); it.Next()) {
-      index_root.AddLeafHash(TupleLeaf(it.key()));
-      index_count++;
+      index_offsets.push_back(index_arena.size());
+      EncodeRow(it.key(), &index_arena);
     }
+    index_offsets.push_back(index_arena.size());
+    size_t index_count = index_offsets.size() - 1;
 
     if (index_count != base_tuples.size() ||
-        base_root.Root() != index_root.Root()) {
+        RootOfEncodedTuples(base_arena, base_offsets) !=
+            RootOfEncodedTuples(index_arena, index_offsets)) {
       report->violations.push_back(
           {5, "non-clustered index '" + idx->name + "' on table '" +
                   store.name() + "' is not equivalent to the base table"});
@@ -149,24 +170,45 @@ Result<VerificationReport> VerifyLedger(
   VerificationReport report;
   std::vector<TruncationRecord> truncations = db->GetTruncationRecords();
 
-  // Load all blocks, ordered by id (clustered order).
-  TableStore* blocks_store = nullptr;
-  TableStore* txns_store = nullptr;
-  // The facade does not expose the raw system stores; read them through the
-  // ledger's typed accessors instead.
-  std::map<uint64_t, BlockRecord> blocks;
-  {
-    // Blocks: iterate ids from the ledger. Block ids are dense from the
-    // lowest retained block to open_block_id-1, but tampering may remove
-    // arbitrary rows, so scan via FindBlock over the known range and tolerate
-    // gaps (reported by invariant 2/3 checks).
-    for (uint64_t b = 0; b < ledger->open_block_id(); b++) {
-      auto block = ledger->FindBlock(b);
-      if (block.ok()) blocks[b] = *block;
-    }
+  // All hash recomputation below partitions across this pool: blocks and
+  // transaction groups in chunks, tables per task — the counterpart of the
+  // paper's reliance on SQL Server parallel query execution (§3.4.2),
+  // except the partitioning also splits *within* a single large table.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (options.parallelism > 1) {
+    pool_storage.emplace(options.parallelism);
+    pool = &*pool_storage;
   }
-  (void)blocks_store;
-  (void)txns_store;
+
+  // Load all blocks with a single ordered scan of the blocks system table
+  // (tampering may have removed arbitrary rows; gaps are reported by the
+  // invariant 2/3 checks below). Each block's hash is computed exactly once
+  // here, batched, and shared by invariants 1 and 2.
+  std::vector<BlockRecord> blocks = ledger->AllBlocks();
+  std::vector<Hash256> block_hashes(blocks.size());
+  {
+    std::vector<uint8_t> arena;
+    std::vector<size_t> offsets;
+    offsets.reserve(blocks.size() + 1);
+    for (const BlockRecord& b : blocks) {
+      offsets.push_back(arena.size());
+      b.AppendCanonicalBytes(&arena);
+    }
+    offsets.push_back(arena.size());
+    std::vector<Slice> inputs(blocks.size());
+    for (size_t i = 0; i < blocks.size(); i++)
+      inputs[i] =
+          Slice(arena.data() + offsets[i], offsets[i + 1] - offsets[i]);
+    HashMany(inputs.data(), inputs.size(), block_hashes.data());
+  }
+  auto find_block = [&](uint64_t id) -> size_t {
+    auto it = std::lower_bound(
+        blocks.begin(), blocks.end(), id,
+        [](const BlockRecord& b, uint64_t v) { return b.block_id < v; });
+    if (it == blocks.end() || it->block_id != id) return blocks.size();
+    return static_cast<size_t>(it - blocks.begin());
+  };
 
   // Load all transaction entries.
   std::map<uint64_t, TransactionEntry> entries_by_txn;
@@ -185,14 +227,14 @@ Result<VerificationReport> VerifyLedger(
                   "' does not match this database"});
       continue;
     }
-    auto it = blocks.find(digest.block_id);
-    if (it == blocks.end()) {
+    size_t idx = find_block(digest.block_id);
+    if (idx == blocks.size()) {
       report.violations.push_back(
           {1, "digest references block " + std::to_string(digest.block_id) +
                   " which is not present in the ledger"});
       continue;
     }
-    if (it->second.ComputeHash() != digest.block_hash) {
+    if (block_hashes[idx] != digest.block_hash) {
       report.violations.push_back(
           {1, "hash mismatch for block " + std::to_string(digest.block_id) +
                   ": the block does not match the trusted digest"});
@@ -204,69 +246,107 @@ Result<VerificationReport> VerifyLedger(
     }
   }
 
-  // ---- Invariant 2: the block chain. ----
-  const BlockRecord* prev = nullptr;
-  for (const auto& [id, block] : blocks) {
+  // ---- Invariant 2: the block chain (hashes from the shared cache). ----
+  for (size_t i = 0; i < blocks.size(); i++) {
+    const BlockRecord& block = blocks[i];
     report.blocks_checked++;
-    if (prev == nullptr) {
+    if (i == 0) {
       // First retained block: only block 0 can assert a null predecessor.
-      if (id == 0 && !block.previous_block_hash.IsZero()) {
+      if (block.block_id == 0 && !block.previous_block_hash.IsZero()) {
         report.violations.push_back(
             {2, "block 0 records a non-null previous-block hash"});
       }
-    } else if (id == prev->block_id + 1) {
-      if (block.previous_block_hash != prev->ComputeHash()) {
+    } else if (block.block_id == blocks[i - 1].block_id + 1) {
+      if (block.previous_block_hash != block_hashes[i - 1]) {
         report.violations.push_back(
-            {2, "block " + std::to_string(id) +
+            {2, "block " + std::to_string(block.block_id) +
                     " records a previous-block hash that does not match "
                     "block " +
-                    std::to_string(prev->block_id)});
+                    std::to_string(blocks[i - 1].block_id)});
       }
     } else {
       report.violations.push_back(
-          {2, "gap in the block chain: block " + std::to_string(prev->block_id) +
-                  " is followed by block " + std::to_string(id)});
+          {2, "gap in the block chain: block " +
+                  std::to_string(blocks[i - 1].block_id) +
+                  " is followed by block " + std::to_string(block.block_id)});
     }
-    prev = &block;
   }
 
   // ---- Invariant 3: per-block transaction Merkle roots. ----
-  for (const auto& [id, block] : blocks) {
-    auto it = entries_by_block.find(id);
-    std::vector<TransactionEntry> block_entries =
-        it == entries_by_block.end() ? std::vector<TransactionEntry>{}
-                                     : it->second;
-    std::sort(block_entries.begin(), block_entries.end(),
-              [](const TransactionEntry& a, const TransactionEntry& b) {
-                return a.block_ordinal < b.block_ordinal;
-              });
-    bool ordinals_ok = block_entries.size() == block.transaction_count;
-    for (size_t i = 0; ordinals_ok && i < block_entries.size(); i++) {
-      if (block_entries[i].block_ordinal != i) ordinals_ok = false;
+  // Each entry's leaf hash is computed exactly once, in parallel batches.
+  std::vector<const TransactionEntry*> flat_entries;
+  flat_entries.reserve(entries_by_txn.size());
+  for (const auto& [txn_id, e] : entries_by_txn) flat_entries.push_back(&e);
+  std::vector<Hash256> flat_entry_leaves(flat_entries.size());
+  ParallelFor(
+      pool, flat_entries.size(),
+      [&](size_t begin, size_t end) {
+        std::vector<uint8_t> arena;
+        std::vector<size_t> offsets;
+        offsets.reserve(end - begin + 1);
+        for (size_t i = begin; i < end; i++) {
+          offsets.push_back(arena.size());
+          std::vector<uint8_t> bytes = flat_entries[i]->CanonicalBytes();
+          arena.insert(arena.end(), bytes.begin(), bytes.end());
+        }
+        offsets.push_back(arena.size());
+        std::vector<Slice> inputs(end - begin);
+        for (size_t i = 0; i < end - begin; i++)
+          inputs[i] =
+              Slice(arena.data() + offsets[i], offsets[i + 1] - offsets[i]);
+        MerkleLeafHashMany(inputs.data(), inputs.size(),
+                           flat_entry_leaves.data() + begin);
+      },
+      /*min_chunk=*/128);
+  std::unordered_map<uint64_t, const Hash256*> entry_leaf_by_txn;
+  entry_leaf_by_txn.reserve(flat_entries.size());
+  for (size_t i = 0; i < flat_entries.size(); i++)
+    entry_leaf_by_txn[flat_entries[i]->txn_id] = &flat_entry_leaves[i];
+
+  std::vector<std::optional<Violation>> block_root_violations(blocks.size());
+  ParallelFor(pool, blocks.size(), [&](size_t begin, size_t end) {
+    for (size_t bi = begin; bi < end; bi++) {
+      const BlockRecord& block = blocks[bi];
+      auto it = entries_by_block.find(block.block_id);
+      std::vector<TransactionEntry> block_entries =
+          it == entries_by_block.end() ? std::vector<TransactionEntry>{}
+                                       : it->second;
+      std::sort(block_entries.begin(), block_entries.end(),
+                [](const TransactionEntry& a, const TransactionEntry& b) {
+                  return a.block_ordinal < b.block_ordinal;
+                });
+      bool ordinals_ok = block_entries.size() == block.transaction_count;
+      for (size_t i = 0; ordinals_ok && i < block_entries.size(); i++) {
+        if (block_entries[i].block_ordinal != i) ordinals_ok = false;
+      }
+      std::vector<Hash256> leaves;
+      leaves.reserve(block_entries.size());
+      for (const TransactionEntry& e : block_entries)
+        leaves.push_back(*entry_leaf_by_txn.at(e.txn_id));
+      MerkleTree tree(std::move(leaves));
+      if (!ordinals_ok || tree.Root() != block.transactions_root) {
+        block_root_violations[bi] =
+            Violation{3, "transactions Merkle root mismatch for block " +
+                             std::to_string(block.block_id)};
+      }
     }
-    std::vector<Hash256> leaves;
-    leaves.reserve(block_entries.size());
-    for (const TransactionEntry& e : block_entries)
-      leaves.push_back(e.LeafHash());
-    MerkleTree tree(std::move(leaves));
-    if (!ordinals_ok || tree.Root() != block.transactions_root) {
-      report.violations.push_back(
-          {3, "transactions Merkle root mismatch for block " +
-                  std::to_string(id)});
-    }
-  }
+  });
+  for (auto& v : block_root_violations)
+    if (v.has_value()) report.violations.push_back(std::move(*v));
   // Entries must belong to a block that exists (pending blocks excluded).
   for (const auto& [block_id, block_entries] : entries_by_block) {
     if (block_id >= ledger->open_block_id()) continue;  // not yet closed
-    if (blocks.count(block_id)) continue;
+    if (find_block(block_id) != blocks.size()) continue;
     report.violations.push_back(
         {3, std::to_string(block_entries.size()) +
                 " transaction(s) reference block " + std::to_string(block_id) +
                 " which is not present in the ledger"});
   }
 
-  // ---- Invariants 4 & 5 per ledger table. The per-table checks only read
-  // shared immutable state, so they run on a thread pool when requested. ----
+  // ---- Invariants 4 & 5 per ledger table. All state read below is
+  // immutable while the database is quiesced, so the phases fan out freely:
+  // store scans per task, leaf hashing in chunks, per-transaction root
+  // recomputation per group, index/view checks per table. ----
   std::set<std::string> table_filter(options.tables.begin(),
                                      options.tables.end());
   std::vector<CatalogEntry*> tables_to_check;
@@ -276,100 +356,173 @@ Result<VerificationReport> VerifyLedger(
     tables_to_check.push_back(entry);
   }
 
-  struct TableCheckResult {
-    VerificationReport partial;  // only violations/row_versions_checked used
+  // Phase 1: collection scans, one task per physical store.
+  struct ScanTask {
+    size_t table_idx;
+    bool history;
   };
-  std::vector<TableCheckResult> results(tables_to_check.size());
-
-  auto check_table = [&](size_t i) {
-    CatalogEntry* entry = tables_to_check[i];
-    VerificationReport& out = results[i].partial;
-
-    std::map<uint64_t, std::vector<VersionLeaf>> by_txn;
-    CollectTableLeaves(entry->ref, &by_txn, &out.row_versions_checked);
-
-    // Rows -> recorded roots.
-    for (auto& [txn_id, leaves] : by_txn) {
-      auto eit = entries_by_txn.find(txn_id);
-      if (eit == entries_by_txn.end()) {
-        if (InTruncatedRange(truncations, txn_id)) continue;
-        out.violations.push_back(
-            {4, "table '" + entry->name + "' has row versions referencing "
-                    "transaction " +
-                    std::to_string(txn_id) +
-                    " which is not recorded in the ledger"});
-        continue;
-      }
-      const Hash256* recorded = nullptr;
-      for (const auto& [table_id, root] : eit->second.table_roots) {
-        if (table_id == entry->table_id) {
-          recorded = &root;
-          break;
-        }
-      }
-      Hash256 computed = RootOfLeaves(leaves);
-      if (recorded == nullptr || *recorded != computed) {
-        out.violations.push_back(
-            {4, "Merkle root mismatch for transaction " +
-                    std::to_string(txn_id) + " on table '" + entry->name +
-                    "': current rows do not match what the transaction "
-                    "recorded"});
-      }
+  std::vector<ScanTask> scan_tasks;
+  for (size_t i = 0; i < tables_to_check.size(); i++) {
+    scan_tasks.push_back({i, false});
+    if (tables_to_check[i]->ref.history != nullptr)
+      scan_tasks.push_back({i, true});
+  }
+  std::vector<std::vector<VersionItem>> scan_results(scan_tasks.size());
+  ParallelFor(pool, scan_tasks.size(), [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; t++) {
+      CollectStoreVersions(tables_to_check[scan_tasks[t].table_idx]->ref,
+                           scan_tasks[t].history, &scan_results[t]);
     }
-    // Recorded roots -> rows (detects wholesale row deletion).
-    for (const auto& [txn_id, e] : entries_by_txn) {
-      for (const auto& [table_id, root] : e.table_roots) {
-        if (table_id != entry->table_id) continue;
-        if (!by_txn.count(txn_id)) {
-          out.violations.push_back(
-              {4, "transaction " + std::to_string(txn_id) +
-                      " recorded updates on table '" + entry->name +
-                      "' but no matching row versions exist"});
-        }
-      }
-    }
+  });
 
-    if (options.check_indexes) {
-      CheckIndexes(*entry->main, &out);
-      if (entry->history != nullptr) CheckIndexes(*entry->history, &out);
-    }
-
-    if (options.check_views) {
-      // Ledger view definition check (§3.4.2): the generated view must
-      // expose exactly one INSERT per version plus one DELETE per retired
-      // version.
-      auto view = BuildLedgerView(entry->ref);
-      if (!view.ok()) {
-        out.violations.push_back(
-            {6, "ledger view for '" + entry->name +
-                    "' failed to build: " + view.status().ToString()});
-      } else {
-        uint64_t expected = entry->main->row_count();
-        if (entry->history != nullptr)
-          expected += 2 * entry->history->row_count();
-        if (view->size() != expected) {
-          out.violations.push_back(
-              {6, "ledger view for '" + entry->name +
-                      "' does not reflect the underlying row versions"});
-        }
-      }
-    }
+  // Phase 2: leaf-hash every discovered row version in parallel batches.
+  struct ItemRef {
+    size_t table_idx;
+    uint64_t txn;
+    uint64_t seq;
   };
-
-  if (options.parallelism > 1 && tables_to_check.size() > 1) {
-    ThreadPool pool(options.parallelism);
-    for (size_t i = 0; i < tables_to_check.size(); i++) {
-      pool.Submit([&check_table, i] { check_table(i); });
+  std::vector<RowVersionHashJob> jobs;
+  std::vector<ItemRef> refs;
+  std::vector<uint64_t> versions_per_table(tables_to_check.size(), 0);
+  for (size_t t = 0; t < scan_tasks.size(); t++) {
+    size_t table_idx = scan_tasks[t].table_idx;
+    const LedgerTableRef& ref = tables_to_check[table_idx]->ref;
+    const Schema* schema = &ref.main->schema();
+    for (const VersionItem& item : scan_results[t]) {
+      jobs.push_back(RowVersionHashJob{schema, item.row, item.op,
+                                       ref.table_id, item.txn, item.seq});
+      refs.push_back(ItemRef{table_idx, item.txn, item.seq});
+      versions_per_table[table_idx]++;
     }
-    pool.Wait();
-  } else {
-    for (size_t i = 0; i < tables_to_check.size(); i++) check_table(i);
+  }
+  std::vector<Hash256> leaf_hashes(jobs.size());
+  ParallelFor(
+      pool, jobs.size(),
+      [&](size_t begin, size_t end) {
+        RowVersionLeafHashMany(jobs.data() + begin, end - begin,
+                               leaf_hashes.data() + begin);
+      },
+      /*min_chunk=*/256);
+
+  // Phase 3: group leaves by (table, transaction) and recompute each
+  // transaction's per-table Merkle root, one group per task.
+  std::vector<std::map<uint64_t, std::vector<VersionLeaf>>> by_txn(
+      tables_to_check.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    by_txn[refs[i].table_idx][refs[i].txn].push_back(
+        VersionLeaf{refs[i].seq, leaf_hashes[i]});
   }
 
-  // Merge per-table results in catalog order for deterministic output.
-  for (TableCheckResult& result : results) {
-    report.row_versions_checked += result.partial.row_versions_checked;
-    for (Violation& v : result.partial.violations)
+  struct GroupCheck {
+    size_t table_idx;
+    uint64_t txn;
+    std::vector<VersionLeaf>* leaves;
+  };
+  std::vector<GroupCheck> groups;
+  for (size_t i = 0; i < tables_to_check.size(); i++)
+    for (auto& [txn_id, leaves] : by_txn[i])
+      groups.push_back(GroupCheck{i, txn_id, &leaves});
+  std::vector<std::optional<Violation>> group_violations(groups.size());
+  ParallelFor(
+      pool, groups.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t g = begin; g < end; g++) {
+          const GroupCheck& group = groups[g];
+          const std::string& table_name =
+              tables_to_check[group.table_idx]->name;
+          auto eit = entries_by_txn.find(group.txn);
+          if (eit == entries_by_txn.end()) {
+            if (InTruncatedRange(truncations, group.txn)) continue;
+            group_violations[g] = Violation{
+                4, "table '" + table_name + "' has row versions referencing "
+                       "transaction " +
+                       std::to_string(group.txn) +
+                       " which is not recorded in the ledger"};
+            continue;
+          }
+          const Hash256* recorded = nullptr;
+          for (const auto& [table_id, root] : eit->second.table_roots) {
+            if (table_id == tables_to_check[group.table_idx]->table_id) {
+              recorded = &root;
+              break;
+            }
+          }
+          Hash256 computed = RootOfLeaves(group.leaves);
+          if (recorded == nullptr || *recorded != computed) {
+            group_violations[g] = Violation{
+                4, "Merkle root mismatch for transaction " +
+                       std::to_string(group.txn) + " on table '" +
+                       table_name +
+                       "': current rows do not match what the transaction "
+                       "recorded"};
+          }
+        }
+      },
+      /*min_chunk=*/16);
+
+  // Phase 4: reverse root check plus index/view checks, one table per task.
+  struct TableCheckResult {
+    VerificationReport partial;  // only violations used
+  };
+  std::vector<TableCheckResult> results(tables_to_check.size());
+  ParallelFor(pool, tables_to_check.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; i++) {
+      CatalogEntry* entry = tables_to_check[i];
+      VerificationReport& out = results[i].partial;
+
+      // Recorded roots -> rows (detects wholesale row deletion).
+      for (const auto& [txn_id, e] : entries_by_txn) {
+        for (const auto& [table_id, root] : e.table_roots) {
+          if (table_id != entry->table_id) continue;
+          if (!by_txn[i].count(txn_id)) {
+            out.violations.push_back(
+                {4, "transaction " + std::to_string(txn_id) +
+                        " recorded updates on table '" + entry->name +
+                        "' but no matching row versions exist"});
+          }
+        }
+      }
+
+      if (options.check_indexes) {
+        CheckIndexes(*entry->main, &out);
+        if (entry->history != nullptr) CheckIndexes(*entry->history, &out);
+      }
+
+      if (options.check_views) {
+        // Ledger view definition check (§3.4.2): the generated view must
+        // expose exactly one INSERT per version plus one DELETE per retired
+        // version.
+        auto view = BuildLedgerView(entry->ref);
+        if (!view.ok()) {
+          out.violations.push_back(
+              {6, "ledger view for '" + entry->name +
+                      "' failed to build: " + view.status().ToString()});
+        } else {
+          uint64_t expected = entry->main->row_count();
+          if (entry->history != nullptr)
+            expected += 2 * entry->history->row_count();
+          if (view->size() != expected) {
+            out.violations.push_back(
+                {6, "ledger view for '" + entry->name +
+                        "' does not reflect the underlying row versions"});
+          }
+        }
+      }
+    }
+  });
+
+  // Merge in catalog order — group (invariant 4 forward) violations in
+  // transaction order first, then each table's reverse/index/view results —
+  // so the report is deterministic regardless of parallelism.
+  size_t group_pos = 0;
+  for (size_t i = 0; i < tables_to_check.size(); i++) {
+    report.row_versions_checked += versions_per_table[i];
+    while (group_pos < groups.size() && groups[group_pos].table_idx == i) {
+      if (group_violations[group_pos].has_value())
+        report.violations.push_back(std::move(*group_violations[group_pos]));
+      group_pos++;
+    }
+    for (Violation& v : results[i].partial.violations)
       report.violations.push_back(std::move(v));
   }
 

@@ -42,9 +42,12 @@ struct VerificationOptions {
   bool check_indexes = true;
   /// Run the ledger-view definition check.
   bool check_views = true;
-  /// Worker threads for the per-table invariants (4/5/view). 1 = inline.
-  /// The per-table checks are independent, so they parallelize the way the
-  /// paper's verification queries lean on parallel query execution.
+  /// Worker threads for hash recomputation. 1 = inline. Parallelism applies
+  /// *within* a table, not just across tables: store scans, row-version leaf
+  /// hashing, per-transaction Merkle roots and per-block transaction roots
+  /// all partition into chunks over one shared pool — the counterpart of the
+  /// paper's reliance on parallel query execution for the verification
+  /// queries (§3.4.2), effective even for a single large table.
   unsigned parallelism = 1;
 };
 

@@ -10,6 +10,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace sqlledger {
@@ -51,6 +52,8 @@ class ThreadPool {
     idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
   }
 
+  size_t worker_count() const { return workers_.size(); }
+
  private:
   void WorkerLoop() {
     while (true) {
@@ -80,6 +83,50 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Runs fn(begin, end) over contiguous chunks of [0, n), distributed across
+/// the pool, and blocks until every chunk has finished. Uses its own
+/// completion latch rather than ThreadPool::Wait so several ParallelFor
+/// phases can share one pool. `pool == nullptr` — or a range too small to be
+/// worth splitting (< 2 * min_chunk) — runs inline on the caller. Must be
+/// called from outside the pool's workers (the caller blocks).
+inline void ParallelFor(ThreadPool* pool, size_t n,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t min_chunk = 1) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->worker_count() <= 1 || n < 2 * min_chunk) {
+    fn(0, n);
+    return;
+  }
+  // A few chunks per worker so uneven chunk costs still balance.
+  size_t chunks = pool->worker_count() * 4;
+  if (chunks > n / min_chunk) chunks = n / min_chunk;
+  if (chunks < 2) {
+    fn(0, n);
+    return;
+  }
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t begin = 0; begin < n; begin += chunk_size)
+    ranges.emplace_back(begin,
+                        begin + chunk_size < n ? begin + chunk_size : n);
+
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  } latch{{}, {}, ranges.size()};
+
+  for (const auto& [begin, end] : ranges) {
+    pool->Submit([&fn, &latch, begin = begin, end = end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+}
 
 }  // namespace sqlledger
 
