@@ -153,6 +153,7 @@ Status DatabaseLedger::Append(TransactionEntry entry) {
   if (entry.block_id != open_block_id_)
     return Status::Internal("entry assigned to non-open block");
   last_commit_ts_ = entry.commit_ts_micros;
+  if (append_log_enabled_) append_log_.push_back(entry);
   open_entries_.push_back(entry);
   queue_.push_back(std::move(entry));
   total_entries_++;
@@ -264,6 +265,7 @@ Status DatabaseLedger::RecoverEntry(const TransactionEntry& entry) {
     if (entry.block_ordinal != next_ordinal_)
       return Status::Corruption("WAL replay: ordinal gap in open block");
     last_commit_ts_ = entry.commit_ts_micros;
+    if (append_log_enabled_) append_log_.push_back(entry);
     open_entries_.push_back(entry);
     queue_.push_back(entry);
     total_entries_++;
@@ -435,6 +437,29 @@ Result<BlockRecord> DatabaseLedger::FindBlock(uint64_t block_id) const {
     return Status::NotFound("block " + std::to_string(block_id) +
                             " not in ledger");
   return RowToBlockRecord(*row);
+}
+
+void DatabaseLedger::EnableAppendLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_log_enabled_ = true;
+}
+
+std::vector<TransactionEntry> DatabaseLedger::AppendLogSince(
+    size_t start) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (start >= append_log_.size()) return {};
+  return std::vector<TransactionEntry>(append_log_.begin() + start,
+                                       append_log_.end());
+}
+
+size_t DatabaseLedger::append_log_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_log_.size();
+}
+
+Hash256 DatabaseLedger::last_block_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_block_hash_;
 }
 
 Result<MerkleProof> DatabaseLedger::ProveTransaction(uint64_t txn_id) const {

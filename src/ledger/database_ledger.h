@@ -146,6 +146,21 @@ class DatabaseLedger {
   TableStore* transactions_table_for_testing() { return transactions_table_; }
   TableStore* blocks_table_for_testing() { return blocks_table_; }
 
+  // ---- Oracle support (differential simulator, src/sim/). ----
+
+  /// Starts recording every entry accepted by Append/RecoverEntry in
+  /// arrival order. The log lets an external oracle observe entries created
+  /// by internal transactions (DDL metadata, truncation audit records)
+  /// without re-deriving their contents.
+  void EnableAppendLog();
+  /// Entries appended since index `start` of the log (in arrival order).
+  std::vector<TransactionEntry> AppendLogSince(size_t start) const;
+  size_t append_log_size() const;
+
+  /// Hash of the newest closed block (zero if none) — the chain tip an
+  /// oracle checks its own recomputation against.
+  Hash256 last_block_hash() const;
+
  private:
   Status CloseOpenBlockLocked();
   int64_t Now() const { return options_.clock(); }
@@ -162,6 +177,9 @@ class DatabaseLedger {
   int64_t last_commit_ts_ = 0;
   std::deque<TransactionEntry> queue_;  // not yet in the system table
   uint64_t total_entries_ = 0;
+
+  bool append_log_enabled_ = false;
+  std::vector<TransactionEntry> append_log_;
 };
 
 }  // namespace sqlledger

@@ -349,7 +349,46 @@ Status LedgerDatabase::Recover() {
   auto wal_size = env_->GetFileSize(wal_path_);
   if (wal_size.ok() && *wal_size > valid_bytes)
     SL_RETURN_IF_ERROR(env_->TruncateFile(wal_path_, valid_bytes));
+  if (options_.enable_ledger) ReconcileDdlCounters();
   return Status::OK();
+}
+
+// A DDL's metadata transaction is WAL-durable at commit, but the structural
+// change it describes only becomes durable with the trailing checkpoint. A
+// crash during that checkpoint therefore recovers the old catalog (and old
+// id allocators) while WAL replay re-applies the sys_ledger_* rows — leaving
+// orphaned metadata rows whose ids the rolled-back allocators would hand out
+// again, colliding on the metadata tables' primary keys. Floor the
+// allocators above every id the metadata history mentions so an orphaned
+// row can never cause id reuse.
+void LedgerDatabase::ReconcileDdlCounters() {
+  CatalogEntry* sys_tables = FindTableById(kSysTablesTableId);
+  if (sys_tables != nullptr) {
+    for (BTree::Iterator it = sys_tables->main->Scan(); it.Valid(); it.Next()) {
+      const Row& row = it.value();
+      uint32_t id = static_cast<uint32_t>(row[1].AsInt64());
+      // An updateable table consumed a second id for its history store.
+      uint32_t consumed =
+          row[2].string_value() == TableKindName(TableKind::kUpdateable) ? 2
+                                                                         : 1;
+      if (id + consumed > next_table_id_) next_table_id_ = id + consumed;
+    }
+  }
+  CatalogEntry* sys_cols = FindTableById(kSysColumnsTableId);
+  if (sys_cols != nullptr) {
+    for (BTree::Iterator it = sys_cols->main->Scan(); it.Valid(); it.Next()) {
+      const Row& row = it.value();
+      CatalogEntry* entry =
+          FindTableById(static_cast<uint32_t>(row[0].AsInt64()));
+      if (entry == nullptr) continue;
+      uint32_t floor = static_cast<uint32_t>(row[1].AsInt64()) + 1;
+      if (entry->main->schema().next_column_id() < floor)
+        entry->main->mutable_schema()->set_next_column_id(floor);
+      if (entry->history != nullptr &&
+          entry->history->schema().next_column_id() < floor)
+        entry->history->mutable_schema()->set_next_column_id(floor);
+    }
+  }
 }
 
 Status LedgerDatabase::ReplayWalRecord(Slice payload) {

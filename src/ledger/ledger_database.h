@@ -244,6 +244,7 @@ class LedgerDatabase {
   Status InitFresh();
   Status Recover();
   Status ReplayWalRecord(Slice payload);
+  void ReconcileDdlCounters();
   std::vector<uint8_t> EncodeCatalogMeta() const;
   Status DecodeCatalogMeta(Slice meta,
                            std::vector<std::unique_ptr<TableStore>> stores);

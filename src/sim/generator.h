@@ -1,0 +1,44 @@
+// Seeded operation generator: a pure function of (seed, options) producing
+// the op trace the driver replays. The generator keeps only its own
+// bookkeeping (how many tables it has asked to create, whether it believes
+// a transaction is open) — never any feedback from execution — so the same
+// seed always yields byte-identical traces regardless of what the system
+// under test does with them.
+
+#ifndef SQLLEDGER_SIM_GENERATOR_H_
+#define SQLLEDGER_SIM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace sqlledger {
+namespace sim {
+
+struct GeneratorOptions {
+  size_t ops = 1000;
+  /// Tables the driver pre-creates before replay; generated table indices
+  /// range over [0, base_tables + created so far).
+  uint32_t base_tables = 3;
+  /// Keys are drawn from [0, key_space) so duplicate-key inserts and
+  /// missing-row updates/deletes occur naturally (both sides must predict
+  /// the same AlreadyExists/NotFound statuses).
+  int64_t key_space = 48;
+  /// Caps on generated schema changes.
+  uint32_t max_created_tables = 4;
+  uint32_t max_added_columns = 6;
+  /// Adversarial event families (each still individually seeded).
+  bool enable_crash = true;
+  bool enable_tamper = true;
+  bool enable_ddl = true;
+  bool enable_truncate = true;
+};
+
+/// Deterministically expands (seed, options) into a trace.
+std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts);
+
+}  // namespace sim
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_SIM_GENERATOR_H_

@@ -1,0 +1,110 @@
+// sim_harness: command-line front end for the deterministic differential
+// simulator. `sim_harness --seed=N --ops=M` replays the seeded trace against
+// the real database and the reference model; on divergence it prints the
+// seed, the failing op and a minimized reproduction trace, and exits 1.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/driver.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--ops=N] [--dir=PATH] [--block-size=N]\n"
+               "          [--audit-interval=N] [--verify-interval=N]\n"
+               "          [--no-crash] [--no-tamper] [--no-ddl] "
+               "[--no-truncate]\n"
+               "          [--break-hash-order] [--no-minimize] "
+               "[--print-trace]\n",
+               argv0);
+}
+
+bool ParseU64(const char* arg, const char* flag, uint64_t* out) {
+  size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = std::strtoull(arg + n + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqlledger::sim::SimConfig config;
+  config.gen.ops = 1000;
+  bool minimize = true;
+  bool print_trace = false;
+  uint64_t u = 0;
+
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (ParseU64(a, "--seed", &u)) {
+      config.seed = u;
+    } else if (ParseU64(a, "--ops", &u)) {
+      config.gen.ops = static_cast<size_t>(u);
+    } else if (ParseU64(a, "--block-size", &u)) {
+      config.block_size = u;
+    } else if (ParseU64(a, "--audit-interval", &u)) {
+      config.audit_interval = static_cast<size_t>(u);
+    } else if (ParseU64(a, "--verify-interval", &u)) {
+      config.verify_interval = static_cast<size_t>(u);
+    } else if (std::strncmp(a, "--dir=", 6) == 0) {
+      config.data_dir = a + 6;
+    } else if (std::strcmp(a, "--no-crash") == 0) {
+      config.gen.enable_crash = false;
+    } else if (std::strcmp(a, "--no-tamper") == 0) {
+      config.gen.enable_tamper = false;
+    } else if (std::strcmp(a, "--no-ddl") == 0) {
+      config.gen.enable_ddl = false;
+    } else if (std::strcmp(a, "--no-truncate") == 0) {
+      config.gen.enable_truncate = false;
+    } else if (std::strcmp(a, "--break-hash-order") == 0) {
+      config.break_hash_order = true;
+    } else if (std::strcmp(a, "--no-minimize") == 0) {
+      minimize = false;
+    } else if (std::strcmp(a, "--print-trace") == 0) {
+      print_trace = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (config.data_dir.empty())
+    config.data_dir = "/tmp/sqlledger_sim_" + std::to_string(config.seed);
+
+  std::vector<sqlledger::sim::SimOp> trace =
+      sqlledger::sim::GenerateTrace(config.seed, config.gen);
+  if (print_trace)
+    std::fputs(sqlledger::sim::FormatTrace(trace).c_str(), stdout);
+
+  sqlledger::sim::SimResult result =
+      sqlledger::sim::RunTrace(config, trace);
+  std::printf("seed=%llu ops=%zu %s\n",
+              static_cast<unsigned long long>(config.seed), trace.size(),
+              result.Summary().c_str());
+  if (result.ok) return 0;
+
+  std::printf("--- reproduce: %s --seed=%llu --ops=%zu%s%s%s%s%s ---\n",
+              argv[0], static_cast<unsigned long long>(config.seed),
+              config.gen.ops,
+              config.gen.enable_crash ? "" : " --no-crash",
+              config.gen.enable_tamper ? "" : " --no-tamper",
+              config.gen.enable_ddl ? "" : " --no-ddl",
+              config.gen.enable_truncate ? "" : " --no-truncate",
+              config.break_hash_order ? " --break-hash-order" : "");
+  if (minimize) {
+    std::vector<sqlledger::sim::SimOp> shrunk =
+        sqlledger::sim::MinimizeTrace(config, trace);
+    std::printf("--- minimized trace (%zu of %zu ops) ---\n", shrunk.size(),
+                trace.size());
+    std::fputs(sqlledger::sim::FormatTrace(shrunk).c_str(), stdout);
+    sqlledger::sim::SimResult again =
+        sqlledger::sim::RunTrace(config, shrunk);
+    std::printf("--- minimized run: %s ---\n", again.Summary().c_str());
+  }
+  return 1;
+}

@@ -1,0 +1,54 @@
+#include "sim/trace.h"
+
+namespace sqlledger {
+namespace sim {
+
+const char* SimOpKindName(SimOpKind kind) {
+  switch (kind) {
+    case SimOpKind::kBegin: return "BEGIN";
+    case SimOpKind::kCommit: return "COMMIT";
+    case SimOpKind::kAbort: return "ABORT";
+    case SimOpKind::kInsert: return "INSERT";
+    case SimOpKind::kUpdate: return "UPDATE";
+    case SimOpKind::kDelete: return "DELETE";
+    case SimOpKind::kGet: return "GET";
+    case SimOpKind::kScan: return "SCAN";
+    case SimOpKind::kSavepoint: return "SAVEPOINT";
+    case SimOpKind::kRollbackToSave: return "ROLLBACK_TO";
+    case SimOpKind::kCreateTable: return "CREATE_TABLE";
+    case SimOpKind::kAddColumn: return "ADD_COLUMN";
+    case SimOpKind::kDropColumn: return "DROP_COLUMN";
+    case SimOpKind::kCreateIndex: return "CREATE_INDEX";
+    case SimOpKind::kLedgerView: return "LEDGER_VIEW";
+    case SimOpKind::kOpsView: return "OPS_VIEW";
+    case SimOpKind::kDigest: return "DIGEST";
+    case SimOpKind::kReceipt: return "RECEIPT";
+    case SimOpKind::kVerify: return "VERIFY";
+    case SimOpKind::kCheckpoint: return "CHECKPOINT";
+    case SimOpKind::kCrash: return "CRASH";
+    case SimOpKind::kArmCrash: return "ARM_CRASH";
+    case SimOpKind::kTamper: return "TAMPER";
+    case SimOpKind::kTruncate: return "TRUNCATE";
+  }
+  return "UNKNOWN";
+}
+
+std::string SimOp::ToString() const {
+  std::string out = SimOpKindName(kind);
+  out += " table=" + std::to_string(table);
+  out += " key=" + std::to_string(key);
+  out += " arg=" + std::to_string(arg);
+  if (!str.empty()) out += " str=" + str;
+  return out;
+}
+
+std::string FormatTrace(const std::vector<SimOp>& ops) {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); i++) {
+    out += "  [" + std::to_string(i) + "] " + ops[i].ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace sqlledger

@@ -1,0 +1,68 @@
+// Long-tier exercises of the differential simulator: multi-seed sweeps with
+// the full adversarial mix (crashes, tampering, DDL, truncation), large-run
+// determinism, and the delta-debugging minimizer contract. Labeled "long"
+// in ctest; the nightly CI job runs bigger sweeps still.
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace sim {
+namespace {
+
+class SimHarnessTest : public TempDirTest {
+ protected:
+  SimConfig MakeConfig(uint64_t seed, size_t ops) {
+    SimConfig config;
+    config.seed = seed;
+    config.gen.ops = ops;
+    config.data_dir = Path("sim");
+    return config;
+  }
+};
+
+TEST_F(SimHarnessTest, MultiSeedSweepWithCrashesAndTampering) {
+  for (uint64_t s = 0; s < 5; s++) {
+    SimConfig config = MakeConfig(TestCaseSeed(100 + s), 4000);
+    SimResult result = RunSim(config);
+    EXPECT_TRUE(result.ok)
+        << "seed " << config.seed << " (SQLLEDGER_TEST_SEED=" << TestSeed()
+        << ") diverged @" << result.divergent_op << ": " << result.message;
+    // The adversarial mix must actually fire, or the sweep proves nothing.
+    EXPECT_GT(result.crashes, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.tampers, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.digests, 0u) << "seed " << config.seed;
+  }
+}
+
+TEST_F(SimHarnessTest, DeterministicAtScale) {
+  SimConfig config = MakeConfig(TestCaseSeed(200), 4000);
+  SimResult first = RunSim(config);
+  SimResult second = RunSim(config);
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_EQ(first.outcome_fingerprint, second.outcome_fingerprint);
+  EXPECT_EQ(first.final_digest_hex, second.final_digest_hex);
+}
+
+TEST_F(SimHarnessTest, MinimizerShrinksFailingTraceAndPreservesFailure) {
+  SimConfig config = MakeConfig(TestCaseSeed(300), 500);
+  config.break_hash_order = true;
+  std::vector<SimOp> trace = GenerateTrace(config.seed, config.gen);
+  SimResult full = RunTrace(config, trace);
+  ASSERT_FALSE(full.ok) << "planted bug did not diverge";
+
+  std::vector<SimOp> shrunk = MinimizeTrace(config, trace);
+  EXPECT_LT(shrunk.size(), trace.size());
+  SimResult again = RunTrace(config, shrunk);
+  EXPECT_FALSE(again.ok) << "minimized trace no longer reproduces";
+  // Replaying the minimized trace is itself deterministic.
+  SimResult thrice = RunTrace(config, shrunk);
+  EXPECT_EQ(again.outcome_fingerprint, thrice.outcome_fingerprint);
+  EXPECT_EQ(again.divergent_op, thrice.divergent_op);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace sqlledger

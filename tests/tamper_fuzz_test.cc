@@ -29,7 +29,7 @@ class TamperFuzz : public ::testing::TestWithParam<int> {
     ASSERT_TRUE(db_->CreateTable("accounts", AccountSchema(),
                                  TableKind::kUpdateable)
                     .ok());
-    Random rng(static_cast<uint64_t>(GetParam()) * 7919);
+    Random rng(TestCaseSeed(static_cast<uint64_t>(GetParam()) * 7919));
     // Mixed workload: inserts, updates, deletes.
     for (int i = 0; i < 40; i++) {
       auto txn = db_->Begin("app");
@@ -80,7 +80,7 @@ class TamperFuzz : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(TamperFuzz, EveryRandomMutationIsDetected) {
-  Random rng(static_cast<uint64_t>(GetParam()) * 104729 + 17);
+  Random rng(TestCaseSeed(static_cast<uint64_t>(GetParam()) * 104729 + 17));
   auto ref = db_->GetTableRef("accounts");
   ASSERT_TRUE(ref.ok());
 
@@ -165,8 +165,8 @@ TEST_P(TamperFuzz, EveryRandomMutationIsDetected) {
     }
   }
   EXPECT_TRUE(VerificationFails())
-      << "undetected tampering of kind " << kind << " (seed " << GetParam()
-      << ")";
+      << "undetected tampering of kind " << kind << " (case " << GetParam()
+      << ", SQLLEDGER_TEST_SEED=" << TestSeed() << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TamperFuzz, ::testing::Range(1, 33));
@@ -241,7 +241,7 @@ TEST_P(DigestBlobTamperFuzz, EveryBlobMutationIsDetected) {
 
   auto blobs = BlobFiles();
   ASSERT_GE(blobs.size(), 3u);
-  Random rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 11);
+  Random rng(TestCaseSeed(static_cast<uint64_t>(GetParam()) * 2654435761u + 11));
   const std::filesystem::path& victim = blobs[rng.Uniform(blobs.size())];
   // Blobs are stored read-only; the storage-level attacker of §2.5.2 is
   // not bound by the access layer's permissions.
@@ -273,7 +273,8 @@ TEST_P(DigestBlobTamperFuzz, EveryBlobMutationIsDetected) {
   auto report = VerifyLedgerAgainstStore(db_.get(), *store_);
   EXPECT_FALSE(report.ok() && report->ok())
       << "undetected digest-blob tampering of kind " << kind << " on "
-      << victim << " (seed " << GetParam() << ")";
+      << victim << " (case " << GetParam()
+      << ", SQLLEDGER_TEST_SEED=" << TestSeed() << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DigestBlobTamperFuzz, ::testing::Range(1, 17));

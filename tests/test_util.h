@@ -6,12 +6,37 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "ledger/ledger_database.h"
 
 namespace sqlledger {
+
+/// Base seed for every randomized test. Defaults to 1 so CI is reproducible;
+/// set the SQLLEDGER_TEST_SEED environment variable to replay a nightly
+/// failure or to explore a different deterministic region. Tests that draw
+/// randomness must mix this in and print it on failure, so the one-line
+/// reproduction is always `SQLLEDGER_TEST_SEED=<n> ./the_test`.
+inline uint64_t TestSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("SQLLEDGER_TEST_SEED");
+    if (env != nullptr && *env != '\0')
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    return static_cast<uint64_t>(1);
+  }();
+  return seed;
+}
+
+/// Derives the per-case seed from the suite-wide base and a case index.
+/// SplitMix64-style mixing so adjacent indices land far apart.
+inline uint64_t TestCaseSeed(uint64_t index) {
+  uint64_t z = TestSeed() * 0x9E3779B97F4A7C15ULL + index;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// gtest fixture providing a per-test temp directory.
 class TempDirTest : public ::testing::Test {
