@@ -75,7 +75,7 @@ void BM_Insert(benchmark::State& state) {
     Status st = bench.db->Insert(*txn, "t", WideRow(bench.next_id++));
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     benchmark::DoNotOptimize(st);
-    bench.db->Commit(*txn);
+    (void)bench.db->Commit(*txn);
   }
   state.SetLabel(state.range(0) ? "ledger" : "regular");
 }
@@ -89,7 +89,7 @@ void BM_Update(benchmark::State& state) {
     row[1] = Value::BigInt(bench.next_id++);  // perturb a non-key column
     Status st = bench.db->Update(*txn, "t", row);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-    bench.db->Commit(*txn);
+    (void)bench.db->Commit(*txn);
     key = key % kPrepopulated + 1;
   }
   state.SetLabel(state.range(0) ? "ledger" : "regular");
@@ -107,7 +107,7 @@ void BM_Delete(benchmark::State& state) {
     auto txn = bench.db->Begin("bench");
     Status st = bench.db->Delete(*txn, "t", {Value::BigInt(key++)});
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-    bench.db->Commit(*txn);
+    (void)bench.db->Commit(*txn);
   }
   state.SetLabel(state.range(0) ? "ledger" : "regular");
 }

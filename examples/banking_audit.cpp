@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     auto rows = db->Scan(*txn, "accounts");
     int64_t total = 0;
     for (const Row& row : *rows) total += row[1].AsInt64();
-    db->Commit(*txn);
+    (void)db->Commit(*txn);
     std::printf("total balance: %lld (expected 10000)\n",
                 static_cast<long long>(total));
   }

@@ -42,17 +42,18 @@ int main() {
          Value::Varchar(batch), Value::Null(DataType::kVarchar)});
     if (st.ok()) st = db->Commit(*txn);
     if (!st.ok()) return 1;
-    if (i % 10 == 0) GenerateAndUploadDigest(db.get(), &trusted);
+    if (i % 10 == 0) (void)GenerateAndUploadDigest(db.get(), &trusted);
   }
   // Part 12 (batch B7) goes into Bob's car.
   {
     auto txn = db->Begin("assembly");
-    db->Update(*txn, "parts",
-               {Value::BigInt(12), Value::Varchar("brake-caliper"),
-                Value::Varchar("BRK-2018-B7"), Value::Varchar("VIN-BOB-001")});
-    db->Commit(*txn);
+    (void)db->Update(*txn, "parts",
+                     {Value::BigInt(12), Value::Varchar("brake-caliper"),
+                      Value::Varchar("BRK-2018-B7"),
+                      Value::Varchar("VIN-BOB-001")});
+    (void)db->Commit(*txn);
   }
-  GenerateAndUploadDigest(db.get(), &trusted);
+  (void)GenerateAndUploadDigest(db.get(), &trusted);
 
   // === 2019: batch B7 is recalled ===
   std::printf("2019: batch BRK-2018-B7 recalled.\n");

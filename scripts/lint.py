@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for sqlledger.
+
+Fast, regex-based checks for invariants the compiler cannot (or will not)
+enforce for us. Run from anywhere inside the repo:
+
+    python3 scripts/lint.py            # lint the tree, exit non-zero on findings
+    python3 scripts/lint.py --self-test  # verify each rule fires on a seeded violation
+
+Rules (each one has a # lint-off escape hatch: append `// lint: allow(<rule>)`
+to the offending line — use sparingly and say why on an adjacent comment):
+
+  determinism     rand()/srand()/std::random_device/time(NULL) outside
+                  src/util/random.*. Everything that needs randomness or a
+                  clock must go through util/random.h (seedable, replayable:
+                  the deterministic simulator depends on it).
+  raw-sha         SHA-256 compression primitives (Sha256Compress*, direct
+                  Sha256Kernel construction) referenced outside src/crypto/.
+                  All hashing goes through crypto/sha256.h so kernel dispatch
+                  and the hashing pipeline stay in one place.
+  raw-sync        std::mutex / std::shared_mutex / std::condition_variable /
+                  std::lock_guard / std::unique_lock / std::scoped_lock /
+                  std::shared_lock in src/ outside util/thread_annotations.h.
+                  Use the annotated Mutex/SharedMutex/CondVar wrappers so
+                  Clang -Wthread-safety sees every lock.
+  tsa-escape      NO_THREAD_SAFETY_ANALYSIS without an explanatory comment on
+                  the same or an adjacent line. Every analysis opt-out must
+                  say why it is sound.
+  void-discard    `(void)` discard of an expression with no trailing comment.
+                  Status and Result are [[nodiscard]]; a silenced discard must
+                  justify itself (e.g. `// best-effort cleanup`).
+
+Runtime budget: the whole pass must stay under 10 seconds (it runs as a CI
+job and as a pre-commit habit); it is pure stdlib + regex over a few hundred
+files, typically < 1s.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned per rule. Tests and benches get a pass on some rules
+# (they may poke internals deliberately) but not on determinism.
+SRC_DIRS = ["src"]
+ALL_CODE_DIRS = ["src", "tests", "bench", "examples"]
+
+CPP_EXT = (".cc", ".h")
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, message):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def iter_files(dirs):
+    for d in dirs:
+        base = os.path.join(REPO_ROOT, d)
+        for root, _dirs, files in os.walk(base):
+            for f in sorted(files):
+                if f.endswith(CPP_EXT):
+                    yield os.path.join(root, f)
+
+
+def strip_noise(line):
+    """Removes string literals and // comments so patterns in either don't
+    produce false positives. Keeps character count irrelevant (we only need
+    line numbers)."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def allowed(line, rule):
+    m = ALLOW_RE.search(line)
+    if not m:
+        return False
+    rules = [r.strip() for r in m.group(1).split(",")]
+    return rule in rules
+
+
+# ---------------------------------------------------------------------------
+# Rule: determinism
+# ---------------------------------------------------------------------------
+
+DETERMINISM_RE = re.compile(
+    r"(?<![\w:])(?:"
+    r"rand\s*\(\s*\)"
+    r"|srand\s*\("
+    r"|std::random_device"
+    r"|random_device\s+\w"
+    r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r")"
+)
+
+
+def check_determinism(path, lines, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if rel.startswith(os.path.join("src", "util", "random")):
+        return
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if DETERMINISM_RE.search(line):
+            if allowed(raw, "determinism"):
+                continue
+            findings.append(Finding(
+                "determinism", path, i,
+                "raw randomness/clock source; use util/random.h "
+                "(seedable — the deterministic simulator replays seeds)"))
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-sha
+# ---------------------------------------------------------------------------
+
+RAW_SHA_RE = re.compile(
+    r"Sha256Compress(?:Scalar|ShaNi|Armv8|Fn)?\b|struct\s+Sha256Kernel\b"
+)
+
+
+def check_raw_sha(path, lines, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    # The crypto subsystem owns the primitives; its tests/benches may
+    # exercise individual kernels directly.
+    if rel.startswith(os.path.join("src", "crypto")):
+        return
+    if os.path.basename(path) in ("sha256_kernel_test.cc", "crypto_test.cc",
+                                  "bench_hashing.cc", "bench_hashing_smoke.cc",
+                                  "fig8_hashing.cc"):
+        return
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if RAW_SHA_RE.search(line):
+            if allowed(raw, "raw-sha"):
+                continue
+            findings.append(Finding(
+                "raw-sha", path, i,
+                "raw SHA-256 primitive outside src/crypto/; "
+                "use crypto/sha256.h (Sha256::Digest / hashing pipeline)"))
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-sync
+# ---------------------------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+
+
+def check_raw_sync(path, lines, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith("src" + os.sep):
+        return  # tests may use raw primitives to build race scaffolding
+    if rel == os.path.join("src", "util", "thread_annotations.h"):
+        return  # the one place allowed to wrap the std primitives
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            if allowed(raw, "raw-sync"):
+                continue
+            findings.append(Finding(
+                "raw-sync", path, i,
+                f"raw {m.group(0)} in src/; use the annotated wrappers in "
+                "util/thread_annotations.h so -Wthread-safety sees the lock"))
+
+
+# ---------------------------------------------------------------------------
+# Rule: tsa-escape
+# ---------------------------------------------------------------------------
+
+
+def check_tsa_escape(path, lines, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith("src" + os.sep):
+        return
+    if rel == os.path.join("src", "util", "thread_annotations.h"):
+        return  # the macro definition itself
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if "NO_THREAD_SAFETY_ANALYSIS" not in line:
+            continue
+        if allowed(raw, "tsa-escape"):
+            continue
+        # Look for an explanatory comment on this line or within the two
+        # lines above (the repo convention is a justification block comment
+        # directly above the escape).
+        context = lines[max(0, i - 3):i]
+        if any("//" in c for c in context):
+            continue
+        findings.append(Finding(
+            "tsa-escape", path, i,
+            "NO_THREAD_SAFETY_ANALYSIS without an adjacent comment "
+            "explaining why the opt-out is sound"))
+
+
+# ---------------------------------------------------------------------------
+# Rule: void-discard
+# ---------------------------------------------------------------------------
+
+# Only flag discards of *call* expressions — `(void)param;` is the
+# unused-parameter idiom and carries no Status/Result.
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[\w:.\->]+\s*\(")
+
+
+def check_void_discard(path, lines, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith("src" + os.sep):
+        return
+    for i, raw in enumerate(lines, 1):
+        if not VOID_DISCARD_RE.search(raw):
+            continue
+        if allowed(raw, "void-discard"):
+            continue
+        # A justification comment may trail the statement (possibly on the
+        # line where the statement ends) or sit up to two lines above it —
+        # one block comment may cover a pair of adjacent discards.
+        context = lines[max(0, i - 3):min(len(lines), i + 2)]
+        if any("//" in c for c in context):
+            continue
+        findings.append(Finding(
+            "void-discard", path, i,
+            "silenced [[nodiscard]] value without a justification comment "
+            "(say why ignoring the Status/Result is safe)"))
+
+
+CHECKS = [
+    ("determinism", ALL_CODE_DIRS, check_determinism),
+    ("raw-sha", ALL_CODE_DIRS, check_raw_sha),
+    ("raw-sync", SRC_DIRS, check_raw_sync),
+    ("tsa-escape", SRC_DIRS, check_tsa_escape),
+    ("void-discard", SRC_DIRS, check_void_discard),
+]
+
+
+def run_lint():
+    findings = []
+    # One pass per directory set; file contents cached so each file is read
+    # once even when several rules scan it.
+    cache = {}
+    for _rule, dirs, check in CHECKS:
+        for path in iter_files(dirs):
+            if path not in cache:
+                try:
+                    with open(path, encoding="utf-8", errors="replace") as f:
+                        cache[path] = f.readlines()
+                except OSError as e:
+                    print(f"lint.py: cannot read {path}: {e}", file=sys.stderr)
+                    return 2
+            check(path, cache[path], findings)
+    findings.sort(key=lambda f: (f.path, f.lineno, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint.py: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("lint.py: clean.")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self test: each rule must fire on a seeded violation and stay quiet on the
+# compliant twin. Exercised by the CI lint job so a silently-dead regex is
+# caught the moment it dies.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule, dir-relative path, bad line, good line)
+    ("determinism", "src/ledger/x_selftest.cc",
+     "int r = rand();",
+     "Random rng(seed); int r = rng.Next();"),
+    ("determinism", "src/ledger/x_selftest.cc",
+     "uint64_t t = time(NULL);",
+     "uint64_t t = clock->NowMicros();"),
+    ("raw-sha", "src/ledger/x_selftest.cc",
+     "Sha256CompressScalar(state, data, 1);",
+     "Hash256 h = Sha256::Digest(data);"),
+    ("raw-sync", "src/ledger/x_selftest.cc",
+     "std::mutex mu;",
+     "Mutex mu;"),
+    ("raw-sync", "src/ledger/x_selftest.cc",
+     "std::lock_guard<std::mutex> lock(mu);",
+     "MutexLock lock(&mu);"),
+    ("tsa-escape", "src/ledger/x_selftest.h",
+     "void Get() const NO_THREAD_SAFETY_ANALYSIS;",
+     "// Unlatched by contract: snapshot reads only.\n"
+     "void Get() const NO_THREAD_SAFETY_ANALYSIS;"),
+    ("void-discard", "src/ledger/x_selftest.cc",
+     "(void)env->RemoveFile(path);",
+     "(void)env->RemoveFile(path);  // best-effort cleanup"),
+    ("void-discard", "src/ledger/x_selftest.cc",
+     "(void)st.Update(env->RemoveFile(path));",
+     "(void)unused_param;"),
+]
+
+
+def run_self_test():
+    global REPO_ROOT
+    real_root = REPO_ROOT
+    failures = 0
+    for rule, rel, bad, good in SELF_TEST_CASES:
+        for variant, text, expect_fire in (("bad", bad, True),
+                                           ("good", good, False)):
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(text + "\n")
+                REPO_ROOT = tmp
+                try:
+                    findings = []
+                    lines = open(path, encoding="utf-8").readlines()
+                    for r, _dirs, check in CHECKS:
+                        if r == rule:
+                            check(path, lines, findings)
+                    fired = any(f.rule == rule for f in findings)
+                finally:
+                    REPO_ROOT = real_root
+                if fired != expect_fire:
+                    failures += 1
+                    print(f"SELF-TEST FAIL [{rule}/{variant}]: "
+                          f"{'did not fire on' if expect_fire else 'fired on'}"
+                          f" {text!r}", file=sys.stderr)
+    if failures:
+        print(f"lint.py --self-test: {failures} failure(s).", file=sys.stderr)
+        return 1
+    print(f"lint.py --self-test: all {len(SELF_TEST_CASES)} cases pass "
+          "(each rule fires on its seeded violation, stays quiet on the fix).")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a seeded violation")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    return run_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

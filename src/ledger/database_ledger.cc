@@ -143,13 +143,38 @@ DatabaseLedger::DatabaseLedger(TableStore* transactions_table,
   if (options_.block_size == 0) options_.block_size = 1;
 }
 
+uint64_t DatabaseLedger::open_block_id() const {
+  MutexLock lock(&mu_);
+  return open_block_id_;
+}
+
+uint64_t DatabaseLedger::open_block_entry_count() const {
+  MutexLock lock(&mu_);
+  return open_entries_.size();
+}
+
+uint64_t DatabaseLedger::closed_block_count() const {
+  MutexLock lock(&mu_);
+  return blocks_table_->row_count();
+}
+
+uint64_t DatabaseLedger::queue_depth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
+uint64_t DatabaseLedger::total_entries() const {
+  MutexLock lock(&mu_);
+  return total_entries_;
+}
+
 std::pair<uint64_t, uint64_t> DatabaseLedger::AssignSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return {open_block_id_, next_ordinal_++};
 }
 
 Status DatabaseLedger::Append(TransactionEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entry.block_id != open_block_id_)
     return Status::Internal("entry assigned to non-open block");
   last_commit_ts_ = entry.commit_ts_micros;
@@ -188,7 +213,7 @@ Status DatabaseLedger::CloseOpenBlockLocked() {
 
 Result<DatabaseDigest> DatabaseLedger::GenerateDigest(
     const std::string& database_id, const std::string& create_time) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Close the open block so the digest covers the most recent transactions;
   // a pristine database materializes an initial empty block.
   if (!open_entries_.empty() || blocks_table_->row_count() == 0) {
@@ -207,6 +232,7 @@ Result<DatabaseDigest> DatabaseLedger::GenerateDigest(
 Result<bool> DatabaseLedger::VerifyDigestChain(
     const DatabaseDigest& older, const DatabaseDigest& newer) const {
   if (older.block_id > newer.block_id) return false;
+  MutexLock lock(&mu_);  // the scan must not race a concurrent block close
   // One ordered scan over [older, newer] instead of per-block point lookups;
   // each block's hash is computed exactly once and carried forward.
   KeyTuple start_key{Value::BigInt(static_cast<int64_t>(older.block_id))};
@@ -231,7 +257,7 @@ Result<bool> DatabaseLedger::VerifyDigestChain(
 }
 
 Status DatabaseLedger::DrainQueue() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!queue_.empty()) {
     const TransactionEntry& entry = queue_.front();
     Status st = transactions_table_->Insert(TransactionEntryToRow(entry));
@@ -242,7 +268,7 @@ Status DatabaseLedger::DrainQueue() {
 }
 
 Status DatabaseLedger::RecoverEntry(const TransactionEntry& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   KeyTuple key{Value::BigInt(static_cast<int64_t>(entry.txn_id))};
   bool persisted = transactions_table_->Get(key) != nullptr;
   bool in_open_block = false;
@@ -279,7 +305,7 @@ Status DatabaseLedger::RecoverEntry(const TransactionEntry& entry) {
 }
 
 Status DatabaseLedger::RecoverBlockClose(uint64_t block_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (block_id < open_block_id_) return Status::OK();  // already closed
   if (block_id != open_block_id_)
     return Status::Corruption("block-close marker skips blocks");
@@ -287,7 +313,7 @@ Status DatabaseLedger::RecoverBlockClose(uint64_t block_id) {
 }
 
 Status DatabaseLedger::LoadFromTables() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // The open block is one past the newest closed block.
   uint64_t max_closed = 0;
   bool any_block = false;
@@ -329,7 +355,7 @@ Status DatabaseLedger::LoadFromTables() {
 }
 
 std::vector<TransactionEntry> DatabaseLedger::PendingEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TransactionEntry> out = open_entries_;
   for (const TransactionEntry& e : queue_) {
     bool seen = false;
@@ -344,7 +370,7 @@ std::vector<TransactionEntry> DatabaseLedger::PendingEntries() const {
   return out;
 }
 
-std::vector<TransactionEntry> DatabaseLedger::AllEntries() const {
+std::vector<TransactionEntry> DatabaseLedger::AllEntriesLocked() const {
   std::vector<TransactionEntry> out;
   out.reserve(transactions_table_->row_count());
   for (BTree::Iterator it = transactions_table_->Scan(); it.Valid();
@@ -355,8 +381,23 @@ std::vector<TransactionEntry> DatabaseLedger::AllEntries() const {
   return out;
 }
 
+std::vector<TransactionEntry> DatabaseLedger::AllEntries() const {
+  MutexLock lock(&mu_);
+  return AllEntriesLocked();
+}
+
+DatabaseLedger::LedgerSnapshot DatabaseLedger::Snapshot() const {
+  MutexLock lock(&mu_);
+  LedgerSnapshot snap;
+  snap.entries = AllEntriesLocked();
+  snap.blocks = AllBlocksLocked();
+  snap.open_block_id = open_block_id_;
+  return snap;
+}
+
 Result<DatabaseLedger::TxnRange> DatabaseLedger::CollectTxnsBelow(
     uint64_t below_block) const {
+  MutexLock lock(&mu_);
   TxnRange range;
   bool first = true;
   for (BTree::Iterator it = transactions_table_->Scan(); it.Valid();
@@ -375,7 +416,7 @@ Result<DatabaseLedger::TxnRange> DatabaseLedger::CollectTxnsBelow(
 }
 
 Status DatabaseLedger::TruncateBelow(uint64_t below_block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (below_block >= open_block_id_)
     return Status::InvalidArgument(
         "cannot truncate the open block or beyond");
@@ -400,15 +441,13 @@ Status DatabaseLedger::TruncateBelow(uint64_t below_block) {
   return Status::OK();
 }
 
-Result<TransactionEntry> DatabaseLedger::FindEntry(uint64_t txn_id) const {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const TransactionEntry& e : open_entries_) {
-      if (e.txn_id == txn_id) return e;
-    }
-    for (const TransactionEntry& e : queue_) {
-      if (e.txn_id == txn_id) return e;
-    }
+Result<TransactionEntry> DatabaseLedger::FindEntryLocked(
+    uint64_t txn_id) const {
+  for (const TransactionEntry& e : open_entries_) {
+    if (e.txn_id == txn_id) return e;
+  }
+  for (const TransactionEntry& e : queue_) {
+    if (e.txn_id == txn_id) return e;
   }
   KeyTuple key{Value::BigInt(static_cast<int64_t>(txn_id))};
   const Row* row = transactions_table_->Get(key);
@@ -418,7 +457,12 @@ Result<TransactionEntry> DatabaseLedger::FindEntry(uint64_t txn_id) const {
   return RowToTransactionEntry(*row);
 }
 
-std::vector<BlockRecord> DatabaseLedger::AllBlocks() const {
+Result<TransactionEntry> DatabaseLedger::FindEntry(uint64_t txn_id) const {
+  MutexLock lock(&mu_);
+  return FindEntryLocked(txn_id);
+}
+
+std::vector<BlockRecord> DatabaseLedger::AllBlocksLocked() const {
   std::vector<BlockRecord> out;
   out.reserve(blocks_table_->row_count());
   for (BTree::Iterator it = blocks_table_->Scan(); it.Valid(); it.Next()) {
@@ -430,7 +474,13 @@ std::vector<BlockRecord> DatabaseLedger::AllBlocks() const {
   return out;
 }
 
+std::vector<BlockRecord> DatabaseLedger::AllBlocks() const {
+  MutexLock lock(&mu_);
+  return AllBlocksLocked();
+}
+
 Result<BlockRecord> DatabaseLedger::FindBlock(uint64_t block_id) const {
+  MutexLock lock(&mu_);
   KeyTuple key{Value::BigInt(static_cast<int64_t>(block_id))};
   const Row* row = blocks_table_->Get(key);
   if (row == nullptr)
@@ -440,37 +490,38 @@ Result<BlockRecord> DatabaseLedger::FindBlock(uint64_t block_id) const {
 }
 
 void DatabaseLedger::EnableAppendLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   append_log_enabled_ = true;
 }
 
 std::vector<TransactionEntry> DatabaseLedger::AppendLogSince(
     size_t start) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (start >= append_log_.size()) return {};
   return std::vector<TransactionEntry>(append_log_.begin() + start,
                                        append_log_.end());
 }
 
 size_t DatabaseLedger::append_log_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return append_log_.size();
 }
 
 Hash256 DatabaseLedger::last_block_hash() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_block_hash_;
 }
 
 Result<MerkleProof> DatabaseLedger::ProveTransaction(uint64_t txn_id) const {
-  auto entry = FindEntry(txn_id);
+  // One critical section for the whole proof: the lookup, the system-table
+  // scan, and the queue sweep must all see the same chain state (a block
+  // close between them would split the entry set across blocks).
+  MutexLock lock(&mu_);
+  auto entry = FindEntryLocked(txn_id);
   if (!entry.ok()) return entry.status();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (entry->block_id >= open_block_id_)
-      return Status::Busy("transaction's block is not closed yet; generate a "
-                          "digest to close it");
-  }
+  if (entry->block_id >= open_block_id_)
+    return Status::Busy("transaction's block is not closed yet; generate a "
+                        "digest to close it");
   // Gather the block's entries in ordinal order. They may live in the
   // system table and/or the undrained queue.
   std::vector<TransactionEntry> block_entries;
@@ -480,19 +531,16 @@ Result<MerkleProof> DatabaseLedger::ProveTransaction(uint64_t txn_id) const {
     if (!e.ok()) return e.status();
     if (e->block_id == entry->block_id) block_entries.push_back(std::move(*e));
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const TransactionEntry& e : queue_) {
-      if (e.block_id != entry->block_id) continue;
-      bool seen = false;
-      for (const TransactionEntry& b : block_entries) {
-        if (b.txn_id == e.txn_id) {
-          seen = true;
-          break;
-        }
+  for (const TransactionEntry& e : queue_) {
+    if (e.block_id != entry->block_id) continue;
+    bool seen = false;
+    for (const TransactionEntry& b : block_entries) {
+      if (b.txn_id == e.txn_id) {
+        seen = true;
+        break;
       }
-      if (!seen) block_entries.push_back(e);
     }
+    if (!seen) block_entries.push_back(e);
   }
   std::sort(block_entries.begin(), block_entries.end(),
             [](const TransactionEntry& a, const TransactionEntry& b) {

@@ -11,7 +11,6 @@
 
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "crypto/merkle.h"
@@ -19,6 +18,7 @@
 #include "ledger/types.h"
 #include "storage/table_store.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -97,11 +97,11 @@ class DatabaseLedger {
 
   // ---- Introspection. ----
 
-  uint64_t open_block_id() const { return open_block_id_; }
-  uint64_t open_block_entry_count() const { return open_entries_.size(); }
-  uint64_t closed_block_count() const { return blocks_table_->row_count(); }
-  uint64_t queue_depth() const { return queue_.size(); }
-  uint64_t total_entries() const { return total_entries_; }
+  uint64_t open_block_id() const;
+  uint64_t open_block_entry_count() const;
+  uint64_t closed_block_count() const;
+  uint64_t queue_depth() const;
+  uint64_t total_entries() const;
   uint64_t block_size() const { return options_.block_size; }
 
   /// Entries of the still-open block plus undrained queue entries, used by
@@ -137,6 +137,19 @@ class DatabaseLedger {
   /// reports the resulting gaps. Preferred over FindBlock loops.
   std::vector<BlockRecord> AllBlocks() const;
 
+  /// Consistent snapshot of both system tables plus the open-block id,
+  /// taken in ONE critical section. The verifier needs this atomicity: a
+  /// concurrent block close (digest generation is not stopped by the
+  /// verification quiesce) sliding between separate AllBlocks/AllEntries
+  /// calls would make freshly closed transactions reference a block the
+  /// earlier blocks scan never saw.
+  struct LedgerSnapshot {
+    std::vector<TransactionEntry> entries;
+    std::vector<BlockRecord> blocks;
+    uint64_t open_block_id = 0;
+  };
+  LedgerSnapshot Snapshot() const;
+
   /// Merkle proof that the given transaction is part of its (closed)
   /// block's transaction tree (paper §3.3.1 requirement 4; receipts §5.1).
   Result<MerkleProof> ProveTransaction(uint64_t txn_id) const;
@@ -162,24 +175,33 @@ class DatabaseLedger {
   Hash256 last_block_hash() const;
 
  private:
-  Status CloseOpenBlockLocked();
+  Status CloseOpenBlockLocked() REQUIRES(mu_);
+  Result<TransactionEntry> FindEntryLocked(uint64_t txn_id) const
+      REQUIRES(mu_);
+  std::vector<TransactionEntry> AllEntriesLocked() const REQUIRES(mu_);
+  std::vector<BlockRecord> AllBlocksLocked() const REQUIRES(mu_);
   int64_t Now() const { return options_.clock(); }
 
-  TableStore* transactions_table_;
-  TableStore* blocks_table_;
+  // The system tables are mutated only with mu_ held (Append block closes,
+  // DrainQueue, recovery, TruncateBelow); readers that scan them directly
+  // also take mu_ so scans never race a block close.
+  TableStore* const transactions_table_ PT_GUARDED_BY(mu_);
+  TableStore* const blocks_table_ PT_GUARDED_BY(mu_);
   DatabaseLedgerOptions options_;
 
-  mutable std::mutex mu_;
-  uint64_t open_block_id_ = 0;
-  uint64_t next_ordinal_ = 0;
-  std::vector<TransactionEntry> open_entries_;
-  Hash256 last_block_hash_;  // hash of the newest closed block (zero if none)
-  int64_t last_commit_ts_ = 0;
-  std::deque<TransactionEntry> queue_;  // not yet in the system table
-  uint64_t total_entries_ = 0;
+  mutable Mutex mu_;
+  uint64_t open_block_id_ GUARDED_BY(mu_) = 0;
+  uint64_t next_ordinal_ GUARDED_BY(mu_) = 0;
+  std::vector<TransactionEntry> open_entries_ GUARDED_BY(mu_);
+  // Hash of the newest closed block (zero if none).
+  Hash256 last_block_hash_ GUARDED_BY(mu_);
+  int64_t last_commit_ts_ GUARDED_BY(mu_) = 0;
+  // Entries not yet drained into the system table.
+  std::deque<TransactionEntry> queue_ GUARDED_BY(mu_);
+  uint64_t total_entries_ GUARDED_BY(mu_) = 0;
 
-  bool append_log_enabled_ = false;
-  std::vector<TransactionEntry> append_log_;
+  bool append_log_enabled_ GUARDED_BY(mu_) = false;
+  std::vector<TransactionEntry> append_log_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlledger

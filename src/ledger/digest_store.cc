@@ -45,11 +45,13 @@ Result<DatabaseDigest> DecodeBlobEnvelope(const std::string& blob,
 }  // namespace
 
 Status InMemoryDigestStore::Upload(const DatabaseDigest& digest) {
+  MutexLock lock(&mu_);
   by_incarnation_[digest.database_create_time].push_back(digest);
   return Status::OK();
 }
 
 Result<std::vector<DatabaseDigest>> InMemoryDigestStore::ListAll() const {
+  MutexLock lock(&mu_);
   std::vector<DatabaseDigest> out;
   for (const auto& [incarnation, digests] : by_incarnation_)
     out.insert(out.end(), digests.begin(), digests.end());
@@ -58,6 +60,7 @@ Result<std::vector<DatabaseDigest>> InMemoryDigestStore::ListAll() const {
 
 Result<DatabaseDigest> InMemoryDigestStore::Latest(
     const std::string& create_time) const {
+  MutexLock lock(&mu_);
   const DatabaseDigest* best = nullptr;
   for (const auto& [incarnation, digests] : by_incarnation_) {
     if (!create_time.empty() && incarnation != create_time) continue;
@@ -115,14 +118,15 @@ Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
     Status close_st = (*file)->Close();
     if (st.ok()) st = close_st;
     if (!st.ok()) {
-      env_->RemoveFile(path);
+      (void)env_->RemoveFile(path);  // best-effort cleanup
       return Status::IOError("failed writing digest blob " + path + ": " +
                              st.message());
     }
     SL_RETURN_IF_ERROR(env_->SyncDir(dir));
     // Emulate the storage service's immutability policy: strip write
-    // permission from the stored blob.
-    env_->MakeReadOnly(path);
+    // permission from the stored blob. Advisory — the digest is durable
+    // either way.
+    (void)env_->MakeReadOnly(path);
     return Status::OK();
   }
   return Status::Busy("could not allocate a digest blob name");
@@ -247,34 +251,41 @@ PeriodicDigestUploader::~PeriodicDigestUploader() { Stop(); }
 
 void PeriodicDigestUploader::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   if (thread_.joinable()) thread_.join();
 }
 
 Status PeriodicDigestUploader::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return error_;
 }
 
 void PeriodicDigestUploader::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
-    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
-    lock.unlock();
+    // Sleep out the interval, waking early only for Stop. A timeout with
+    // stop_ still false means the interval elapsed: time to upload.
+    auto deadline = std::chrono::steady_clock::now() + interval_;
+    while (!stop_) {
+      if (!cv_.WaitUntil(&mu_, deadline)) break;
+    }
+    if (stop_) break;
+    mu_.Unlock();
     auto uploaded = GenerateAndUploadDigest(db_, store_);
-    lock.lock();
+    mu_.Lock();
     if (!uploaded.ok()) {
       // A fork detection (or storage) failure is a serious event: latch it
       // and stop uploading, mirroring the paper's alert-and-stop behaviour.
       error_ = uploaded.status();
-      return;
+      break;
     }
     uploads_++;
   }
+  mu_.Unlock();
 }
 
 Result<DatabaseDigest> GenerateAndUploadDigest(LedgerDatabase* db,

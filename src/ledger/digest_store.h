@@ -14,10 +14,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +27,7 @@
 #include "ledger/verifier.h"
 #include "storage/env.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -48,7 +47,8 @@ class DigestStore {
       const std::string& create_time = "") const = 0;
 };
 
-/// In-process store for tests and examples.
+/// In-process store for tests and examples. Thread-safe: a background
+/// uploader and concurrent verifiers may share one instance.
 class InMemoryDigestStore : public DigestStore {
  public:
   Status Upload(const DatabaseDigest& digest) override;
@@ -56,7 +56,9 @@ class InMemoryDigestStore : public DigestStore {
   Result<DatabaseDigest> Latest(const std::string& create_time) const override;
 
  private:
-  std::map<std::string, std::vector<DatabaseDigest>> by_incarnation_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<DatabaseDigest>> by_incarnation_
+      GUARDED_BY(mu_);
 };
 
 /// Directory-backed simulation of Azure Immutable Blob Storage: one
@@ -149,10 +151,10 @@ class PeriodicDigestUploader {
   DigestStore* store_;
   std::chrono::milliseconds interval_;
   std::atomic<uint64_t> uploads_{0};
-  mutable std::mutex mu_;
-  Status error_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  Status error_ GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -158,6 +158,9 @@ Status LedgerDatabase::InitFresh() {
     entry->ref.main = entry->main.get();
     entry->ref.history = entry->history ? entry->history.get() : nullptr;
     entry->ref.RefreshOrdinals();
+    // The lock lives inside the lambda (not around the call) because the
+    // analysis treats lambda bodies as independent functions.
+    WriterMutexLock lock(&catalog_mu_);
     name_index_[name] = id;
     catalog_[id] = std::move(entry);
   };
@@ -186,11 +189,15 @@ Status LedgerDatabase::InitFresh() {
 }
 
 std::vector<uint8_t> LedgerDatabase::EncodeCatalogMeta() const {
+  ReaderMutexLock catalog_lock(&catalog_mu_);
   std::vector<uint8_t> out;
   PutLengthPrefixed(&out, Slice(create_time_));
   PutVarint32(&out, next_table_id_);
-  PutVarint64(&out, next_txn_id_);
-  PutVarint64(&out, committed_txns_);
+  {
+    MutexLock txn_lock(&txn_mu_);
+    PutVarint64(&out, next_txn_id_);
+    PutVarint64(&out, committed_txns_);
+  }
   out.push_back(options_.enable_ledger ? 1 : 0);
   PutVarint32(&out, static_cast<uint32_t>(catalog_.size()));
   for (const auto& [id, entry] : catalog_) {
@@ -206,6 +213,10 @@ std::vector<uint8_t> LedgerDatabase::EncodeCatalogMeta() const {
 
 Status LedgerDatabase::DecodeCatalogMeta(
     Slice meta, std::vector<std::unique_ptr<TableStore>> stores) {
+  // Recovery is single-threaded; the locks satisfy the guarded-member
+  // contracts rather than excluding real contention.
+  WriterMutexLock catalog_lock(&catalog_mu_);
+  MutexLock txn_lock(&txn_mu_);
   std::map<uint32_t, std::unique_ptr<TableStore>> by_id;
   for (auto& store : stores) {
     uint32_t id = store->table_id();
@@ -362,7 +373,8 @@ Status LedgerDatabase::Recover() {
 // allocators above every id the metadata history mentions so an orphaned
 // row can never cause id reuse.
 void LedgerDatabase::ReconcileDdlCounters() {
-  CatalogEntry* sys_tables = FindTableById(kSysTablesTableId);
+  WriterMutexLock lock(&catalog_mu_);
+  CatalogEntry* sys_tables = FindTableByIdLocked(kSysTablesTableId);
   if (sys_tables != nullptr) {
     for (BTree::Iterator it = sys_tables->main->Scan(); it.Valid(); it.Next()) {
       const Row& row = it.value();
@@ -374,12 +386,12 @@ void LedgerDatabase::ReconcileDdlCounters() {
       if (id + consumed > next_table_id_) next_table_id_ = id + consumed;
     }
   }
-  CatalogEntry* sys_cols = FindTableById(kSysColumnsTableId);
+  CatalogEntry* sys_cols = FindTableByIdLocked(kSysColumnsTableId);
   if (sys_cols != nullptr) {
     for (BTree::Iterator it = sys_cols->main->Scan(); it.Valid(); it.Next()) {
       const Row& row = it.value();
       CatalogEntry* entry =
-          FindTableById(static_cast<uint32_t>(row[0].AsInt64()));
+          FindTableByIdLocked(static_cast<uint32_t>(row[0].AsInt64()));
       if (entry == nullptr) continue;
       uint32_t floor = static_cast<uint32_t>(row[1].AsInt64()) + 1;
       if (entry->main->schema().next_column_id() < floor)
@@ -410,9 +422,10 @@ Status LedgerDatabase::ReplayWalRecord(Slice payload) {
   if (!record.ok()) return record.status();
 
   // Redo row operations, idempotently.
+  ReaderMutexLock catalog_lock(&catalog_mu_);
   for (const WalOp& op : record->ops) {
     TableStore* store = nullptr;
-    for (auto& [id, entry] : catalog_) {
+    for (const auto& [id, entry] : catalog_) {
       if (entry->main->table_id() == op.table_id) {
         store = entry->main.get();
         break;
@@ -457,6 +470,7 @@ Status LedgerDatabase::ReplayWalRecord(Slice payload) {
     entry.table_roots = record->table_roots;
     SL_RETURN_IF_ERROR(ledger_->RecoverEntry(entry));
   }
+  MutexLock txn_lock(&txn_mu_);
   if (record->txn_id >= next_txn_id_) next_txn_id_ = record->txn_id + 1;
   committed_txns_++;
   return Status::OK();
@@ -465,16 +479,21 @@ Status LedgerDatabase::ReplayWalRecord(Slice payload) {
 // ---- Catalog helpers ----
 
 CatalogEntry* LedgerDatabase::FindTable(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   auto it = name_index_.find(name);
   if (it == name_index_.end()) return nullptr;
-  return catalog_[it->second].get();
+  auto entry = catalog_.find(it->second);
+  return entry == catalog_.end() ? nullptr : entry->second.get();
+}
+
+CatalogEntry* LedgerDatabase::FindTableByIdLocked(uint32_t table_id) {
+  auto it = catalog_.find(table_id);
+  return it == catalog_.end() ? nullptr : it->second.get();
 }
 
 CatalogEntry* LedgerDatabase::FindTableById(uint32_t table_id) {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-  auto it = catalog_.find(table_id);
-  return it == catalog_.end() ? nullptr : it->second.get();
+  ReaderMutexLock lock(&catalog_mu_);
+  return FindTableByIdLocked(table_id);
 }
 
 Result<LedgerTableRef> LedgerDatabase::GetTableRef(const std::string& name) {
@@ -484,7 +503,7 @@ Result<LedgerTableRef> LedgerDatabase::GetTableRef(const std::string& name) {
 }
 
 std::vector<CatalogEntry*> LedgerDatabase::AllTables() {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   std::vector<CatalogEntry*> out;
   out.reserve(catalog_.size());
   for (auto& [id, entry] : catalog_) out.push_back(entry.get());
@@ -510,26 +529,28 @@ Status LedgerDatabase::CreateTable(const std::string& name,
   if (!options_.enable_ledger) kind = TableKind::kRegular;
 
   auto entry = std::make_unique<CatalogEntry>();
-  entry->table_id = next_table_id_++;
   entry->name = name;
   entry->kind = kind;
-
   Schema full = MakeLedgerSchema(user_schema, kind);
-  entry->main = std::make_unique<TableStore>(entry->table_id, name, full);
-  if (kind == TableKind::kUpdateable) {
-    uint32_t history_id = next_table_id_++;
-    entry->history = std::make_unique<TableStore>(
-        history_id, name + "_history", MakeHistorySchema(full));
-  }
-  entry->ref.table_id = entry->table_id;
-  entry->ref.kind = kind;
-  entry->ref.main = entry->main.get();
-  entry->ref.history = entry->history ? entry->history.get() : nullptr;
-  entry->ref.RefreshOrdinals();
 
   CatalogEntry* raw = entry.get();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    // Allocate table ids inside the same critical section that publishes
+    // the entry, so two concurrent CreateTable calls cannot race the
+    // next_table_id_ counter.
+    WriterMutexLock lock(&catalog_mu_);
+    entry->table_id = next_table_id_++;
+    entry->main = std::make_unique<TableStore>(entry->table_id, name, full);
+    if (kind == TableKind::kUpdateable) {
+      uint32_t history_id = next_table_id_++;
+      entry->history = std::make_unique<TableStore>(
+          history_id, name + "_history", MakeHistorySchema(full));
+    }
+    entry->ref.table_id = entry->table_id;
+    entry->ref.kind = kind;
+    entry->ref.main = entry->main.get();
+    entry->ref.history = entry->history ? entry->history.get() : nullptr;
+    entry->ref.RefreshOrdinals();
     name_index_[name] = entry->table_id;
     catalog_[entry->table_id] = std::move(entry);
   }
@@ -576,7 +597,8 @@ Status LedgerDatabase::CreateIndex(const std::string& table,
     Status st = entry->history->CreateIndex(index_name, ordinals,
                                             /*unique=*/false);
     if (!st.ok()) {
-      entry->main->DropIndex(index_name);
+      // Best-effort rollback of the main-table index just created.
+      (void)entry->main->DropIndex(index_name);
       return st;
     }
   }
@@ -589,7 +611,8 @@ Status LedgerDatabase::DropIndex(const std::string& table,
   CatalogEntry* entry = FindTable(table);
   if (entry == nullptr) return Status::NotFound("table '" + table + "' not found");
   SL_RETURN_IF_ERROR(entry->main->DropIndex(index_name));
-  if (entry->history != nullptr) entry->history->DropIndex(index_name);
+  // History mirror may lack the index (pre-mirror checkpoints); tolerated.
+  if (entry->history != nullptr) (void)entry->history->DropIndex(index_name);
   if (!options_.data_dir.empty()) return Checkpoint();
   return Status::OK();
 }
@@ -597,8 +620,8 @@ Status LedgerDatabase::DropIndex(const std::string& table,
 // ---- Transactions ----
 
 Result<Transaction*> LedgerDatabase::Begin(const std::string& user) {
-  std::unique_lock<std::mutex> lock(txn_mu_);
-  txn_cv_.wait(lock, [this] { return !quiescing_; });
+  MutexLock lock(&txn_mu_);
+  while (quiescing_) txn_cv_.Wait(&txn_mu_);
   uint64_t id = next_txn_id_++;
   auto txn = std::make_unique<Transaction>(id, user);
   Transaction* raw = txn.get();
@@ -612,7 +635,7 @@ Status LedgerDatabase::Commit(Transaction* txn) {
 
   if (!txn->ops().empty()) {
     int64_t commit_ts = options_.clock();
-    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    MutexLock commit_lock(&commit_mu_);
 
     uint64_t block_id = 0, ordinal = 0;
     if (ledger_ != nullptr) {
@@ -650,10 +673,10 @@ Status LedgerDatabase::Commit(Transaction* txn) {
   txn->MarkCommitted();
   locks_.ReleaseAll(txn->id());
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(&txn_mu_);
     committed_txns_++;
     active_txns_.erase(txn->id());
-    txn_cv_.notify_all();
+    txn_cv_.SignalAll();
   }
   return Status::OK();
 }
@@ -662,9 +685,9 @@ void LedgerDatabase::Abort(Transaction* txn) {
   if (txn == nullptr) return;
   txn->Abort();
   locks_.ReleaseAll(txn->id());
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  MutexLock lock(&txn_mu_);
   active_txns_.erase(txn->id());
-  txn_cv_.notify_all();
+  txn_cv_.SignalAll();
 }
 
 Status LedgerDatabase::Savepoint(Transaction* txn, const std::string& name) {
@@ -820,7 +843,7 @@ Result<Row> LedgerDatabase::SeekFirst(Transaction* txn,
 Result<DatabaseDigest> LedgerDatabase::GenerateDigest() {
   if (ledger_ == nullptr)
     return Status::NotSupported("ledger is disabled for this database");
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
   uint64_t closed_before = ledger_->closed_block_count();
   auto digest = ledger_->GenerateDigest(options_.database_id, create_time_);
   if (!digest.ok()) return digest;
@@ -892,10 +915,15 @@ std::string DatabaseStats::ToString() const {
          " history_rows=" + std::to_string(history_rows);
 }
 
+uint64_t LedgerDatabase::committed_txn_count() const {
+  MutexLock lock(&txn_mu_);
+  return committed_txns_;
+}
+
 DatabaseStats LedgerDatabase::GetStats() {
   DatabaseStats stats;
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(&txn_mu_);
     stats.committed_transactions = committed_txns_;
   }
   if (ledger_ != nullptr) {
@@ -954,15 +982,23 @@ Status LedgerDatabase::Checkpoint() {
   if (options_.data_dir.empty())
     return Status::OK();  // ephemeral database: nothing to persist
   QuiesceGuard guard(this);
+  // Quiescing only drains user transactions; digest generation still runs
+  // concurrently and appends block-close records under commit_mu_. Hold
+  // commit_mu_ across the drain/snapshot/WAL-reset so the checkpoint and
+  // the WAL cannot disagree about which blocks closed.
+  MutexLock commit_lock(&commit_mu_);
 
   if (ledger_ != nullptr) SL_RETURN_IF_ERROR(ledger_->DrainQueue());
 
   std::vector<const TableStore*> stores;
   stores.push_back(ledger_txns_store_.get());
   stores.push_back(ledger_blocks_store_.get());
-  for (auto& [id, entry] : catalog_) {
-    stores.push_back(entry->main.get());
-    if (entry->history) stores.push_back(entry->history.get());
+  {
+    ReaderMutexLock catalog_lock(&catalog_mu_);
+    for (const auto& [id, entry] : catalog_) {
+      stores.push_back(entry->main.get());
+      if (entry->history) stores.push_back(entry->history.get());
+    }
   }
   std::vector<uint8_t> meta = EncodeCatalogMeta();
   SL_RETURN_IF_ERROR(
@@ -974,16 +1010,16 @@ Status LedgerDatabase::Checkpoint() {
 // ---- Quiescing ----
 
 LedgerDatabase::QuiesceGuard::QuiesceGuard(LedgerDatabase* db) : db_(db) {
-  std::unique_lock<std::mutex> lock(db_->txn_mu_);
-  db_->txn_cv_.wait(lock, [db] { return !db->quiescing_; });
+  MutexLock lock(&db_->txn_mu_);
+  while (db_->quiescing_) db_->txn_cv_.Wait(&db_->txn_mu_);
   db_->quiescing_ = true;
-  db_->txn_cv_.wait(lock, [db] { return db->active_txns_.empty(); });
+  while (!db_->active_txns_.empty()) db_->txn_cv_.Wait(&db_->txn_mu_);
 }
 
 LedgerDatabase::QuiesceGuard::~QuiesceGuard() {
-  std::lock_guard<std::mutex> lock(db_->txn_mu_);
+  MutexLock lock(&db_->txn_mu_);
   db_->quiescing_ = false;
-  db_->txn_cv_.notify_all();
+  db_->txn_cv_.SignalAll();
 }
 
 }  // namespace sqlledger

@@ -18,12 +18,9 @@
 #define SQLLEDGER_LEDGER_LEDGER_DATABASE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +33,7 @@
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -213,7 +211,7 @@ class LedgerDatabase {
   const LedgerDatabaseOptions& options() const { return options_; }
   const std::string& create_time() const { return create_time_; }
   int64_t NowMicros() const { return options_.clock(); }
-  uint64_t committed_txn_count() const { return committed_txns_; }
+  uint64_t committed_txn_count() const;
   /// Snapshot of operational counters.
   DatabaseStats GetStats();
 
@@ -251,6 +249,8 @@ class LedgerDatabase {
 
   CatalogEntry* FindTable(const std::string& name);
   CatalogEntry* FindTableById(uint32_t table_id);
+  CatalogEntry* FindTableByIdLocked(uint32_t table_id)
+      REQUIRES_SHARED(catalog_mu_);
   Status AcquireTableLock(Transaction* txn, const CatalogEntry& entry,
                           LockMode mode);
   Status AcquireRowLock(Transaction* txn, const CatalogEntry& entry,
@@ -275,29 +275,38 @@ class LedgerDatabase {
   std::string wal_path_;
   std::string checkpoint_path_;
 
-  mutable std::shared_mutex catalog_mu_;  // guards the two maps below
-  std::map<uint32_t, std::unique_ptr<CatalogEntry>> catalog_;
-  std::map<std::string, uint32_t> name_index_;
-  uint32_t next_table_id_ = kFirstUserTableId;
+  // Lock hierarchy (see DESIGN.md §8): commit_mu_ -> catalog_mu_ -> txn_mu_.
+  // Never acquire a lock to the left while holding one to the right.
 
-  // Database-ledger system stores (not in catalog_; internal).
+  mutable SharedMutex catalog_mu_;
+  std::map<uint32_t, std::unique_ptr<CatalogEntry>> catalog_
+      GUARDED_BY(catalog_mu_);
+  std::map<std::string, uint32_t> name_index_ GUARDED_BY(catalog_mu_);
+  uint32_t next_table_id_ GUARDED_BY(catalog_mu_) = kFirstUserTableId;
+
+  // Database-ledger system stores (not in catalog_; internal). Set once
+  // during single-threaded InitFresh/Recover, immutable afterwards.
   std::unique_ptr<TableStore> ledger_txns_store_;
   std::unique_ptr<TableStore> ledger_blocks_store_;
   std::unique_ptr<DatabaseLedger> ledger_;
 
-  std::unique_ptr<Wal> wal_;
-  std::mutex commit_mu_;  // serializes WAL append + ledger append
+  // The Wal object itself is set once at Open; commit_mu_ serializes every
+  // append/reset against the paired ledger slot assignment, so digests,
+  // commits and WAL resets see one consistent order.
+  std::unique_ptr<Wal> wal_ PT_GUARDED_BY(commit_mu_);
+  Mutex commit_mu_;
 
   LockManager locks_;
   HmacSigner signer_;
 
   // Transaction registry + quiescing.
-  std::mutex txn_mu_;
-  std::condition_variable txn_cv_;
-  std::map<uint64_t, std::unique_ptr<Transaction>> active_txns_;
-  uint64_t next_txn_id_ = 1;
-  bool quiescing_ = false;
-  uint64_t committed_txns_ = 0;
+  mutable Mutex txn_mu_;
+  CondVar txn_cv_;
+  std::map<uint64_t, std::unique_ptr<Transaction>> active_txns_
+      GUARDED_BY(txn_mu_);
+  uint64_t next_txn_id_ GUARDED_BY(txn_mu_) = 1;
+  bool quiescing_ GUARDED_BY(txn_mu_) = false;
+  uint64_t committed_txns_ GUARDED_BY(txn_mu_) = 0;
 };
 
 }  // namespace sqlledger

@@ -160,7 +160,7 @@ Status LedgerDatabase::DropTable(const std::string& table) {
   }
 
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    WriterMutexLock lock(&catalog_mu_);
     name_index_.erase(table);
     entry->name = dropped_name;
     entry->main->set_name(dropped_name);

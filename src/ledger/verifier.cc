@@ -181,11 +181,16 @@ Result<VerificationReport> VerifyLedger(
     pool = &*pool_storage;
   }
 
-  // Load all blocks with a single ordered scan of the blocks system table
+  // Load both system tables and the open-block id in ONE critical section
   // (tampering may have removed arbitrary rows; gaps are reported by the
-  // invariant 2/3 checks below). Each block's hash is computed exactly once
-  // here, batched, and shared by invariants 1 and 2.
-  std::vector<BlockRecord> blocks = ledger->AllBlocks();
+  // invariant 2/3 checks below). The atomicity matters: digest generation
+  // keeps closing blocks while verification runs, and a close sliding
+  // between separate blocks/entries scans would make the freshest
+  // transactions reference a block the blocks scan never saw.
+  // Each block's hash is computed exactly once here, batched, and shared
+  // by invariants 1 and 2.
+  DatabaseLedger::LedgerSnapshot snapshot = ledger->Snapshot();
+  std::vector<BlockRecord> blocks = std::move(snapshot.blocks);
   std::vector<Hash256> block_hashes(blocks.size());
   {
     std::vector<uint8_t> arena;
@@ -210,12 +215,12 @@ Result<VerificationReport> VerifyLedger(
     return static_cast<size_t>(it - blocks.begin());
   };
 
-  // Load all transaction entries.
+  // Index the snapshot's transaction entries.
   std::map<uint64_t, TransactionEntry> entries_by_txn;
   std::map<uint64_t, std::vector<TransactionEntry>> entries_by_block;
-  for (const TransactionEntry& e : ledger->AllEntries()) {
+  for (TransactionEntry& e : snapshot.entries) {
     entries_by_txn[e.txn_id] = e;
-    entries_by_block[e.block_id].push_back(e);
+    entries_by_block[e.block_id].push_back(std::move(e));
   }
   report.transactions_checked = entries_by_txn.size();
 
@@ -334,8 +339,10 @@ Result<VerificationReport> VerifyLedger(
   for (auto& v : block_root_violations)
     if (v.has_value()) report.violations.push_back(std::move(*v));
   // Entries must belong to a block that exists (pending blocks excluded).
+  // Compare against the snapshot's open-block id, not the live one: blocks
+  // closed after the snapshot must not un-exempt entries it captured.
   for (const auto& [block_id, block_entries] : entries_by_block) {
-    if (block_id >= ledger->open_block_id()) continue;  // not yet closed
+    if (block_id >= snapshot.open_block_id) continue;  // not yet closed
     if (find_block(block_id) != blocks.size()) continue;
     report.violations.push_back(
         {3, std::to_string(block_entries.size()) +

@@ -732,7 +732,9 @@ void SimDriver::DoAddColumn(size_t i, const SimOp& op) {
         ReferenceModel::Table* mt = model_->FindTable(*name);
         bool model_has = mt != nullptr && mt->schema.FindColumn(op.str) >= 0;
         if (present && !model_has)
-          model_->AddColumn(*name, op.str, type, max_length);
+          // Reconciling the model to observed post-crash state; the column
+          // is known absent, so the add cannot fail.
+          (void)model_->AddColumn(*name, op.str, type, max_length);
       }))
     return;
   Status ms = model_->AddColumn(*name, op.str, type, max_length);
@@ -761,7 +763,9 @@ void SimDriver::DoDropColumn(size_t i, const SimOp& op) {
             store != nullptr && store->schema().FindColumn(op.str) >= 0;
         ReferenceModel::Table* mt = model_->FindTable(*name);
         bool model_has = mt != nullptr && mt->schema.FindColumn(op.str) >= 0;
-        if (!present && model_has) model_->DropColumn(*name, op.str);
+        // Reconciling the model to observed post-crash state; the column
+        // is known present, so the drop cannot fail.
+        if (!present && model_has) (void)model_->DropColumn(*name, op.str);
       }))
     return;
   Status ms = model_->DropColumn(*name, op.str);

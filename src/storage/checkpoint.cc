@@ -123,7 +123,7 @@ Status WriteCheckpoint(const std::string& path, Slice meta,
     Status close_st = (*file)->Close();
     if (st.ok()) st = close_st;
     if (!st.ok()) {
-      env->RemoveFile(tmp);
+      (void)env->RemoveFile(tmp);  // best-effort cleanup of the temp file
       return Status::IOError("checkpoint write failed: " + st.message());
     }
   }

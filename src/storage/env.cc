@@ -233,7 +233,7 @@ class FaultInjectionWritableFile : public WritableFile {
       : env_(env), path_(std::move(path)), target_(std::move(target)) {}
 
   Status Append(Slice data) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (env_->crashed_) return Status::IOError(kCrashedMessage);
     env_->writes_++;
     SL_RETURN_IF_ERROR(env_->CheckWriteLocked());
@@ -243,13 +243,13 @@ class FaultInjectionWritableFile : public WritableFile {
   }
 
   Status Flush() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (env_->crashed_) return Status::IOError(kCrashedMessage);
     return target_->Flush();
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (env_->crashed_) return Status::IOError(kCrashedMessage);
     env_->syncs_++;
     SL_RETURN_IF_ERROR(env_->CheckSyncLocked());
@@ -280,7 +280,7 @@ class FaultInjectionSequentialFile : public SequentialFile {
   Result<size_t> Read(size_t n, uint8_t* scratch) override {
     auto got = target_->Read(n, scratch);
     if (!got.ok() || *got == 0 || !corrupt_) return got;
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     size_t byte = env_->rng_.Uniform(*got);
     scratch[byte] ^= static_cast<uint8_t>(1u << env_->rng_.Uniform(8));
     return got;
@@ -296,52 +296,53 @@ FaultInjectionEnv::FaultInjectionEnv(Env* target, uint64_t seed)
     : target_(target != nullptr ? target : Env::Default()), rng_(seed) {}
 
 void FaultInjectionEnv::FailNthWrite(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_write_countdown_ = n;
 }
 
 void FaultInjectionEnv::FailNthSync(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_sync_countdown_ = n;
 }
 
 void FaultInjectionEnv::FailNthRename(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_rename_countdown_ = n;
 }
 
 void FaultInjectionEnv::CrashAtSync(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_sync_countdown_ = n;
 }
 
 void FaultInjectionEnv::SimulateCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
-  CrashLocked();
+  MutexLock lock(&mu_);
+  // Callers observe the crash through subsequent operations failing.
+  (void)CrashLocked();
 }
 
 void FaultInjectionEnv::CorruptReadsMatching(const std::string& substring) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   corrupt_read_substring_ = substring;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 uint64_t FaultInjectionEnv::sync_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return syncs_;
 }
 
 uint64_t FaultInjectionEnv::write_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return writes_;
 }
 
 uint64_t FaultInjectionEnv::rename_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return renames_;
 }
 
@@ -370,7 +371,9 @@ Status FaultInjectionEnv::CrashLocked() {
     uint64_t unsynced = state.written_size - state.synced_size;
     uint64_t torn = rng_.Uniform(unsynced + 1);
     if (torn == unsynced) torn = 0;  // keeping all of it isn't a crash test
-    target_->TruncateFile(path, state.synced_size + torn);
+    // Best effort: a file that cannot be truncated simply keeps its
+    // un-synced tail, like a disk that got the data out before dying.
+    (void)target_->TruncateFile(path, state.synced_size + torn);
   }
   // Roll back renames that were never made durable by a directory sync,
   // newest first. Best effort: a rollback target that was overwritten by
@@ -378,7 +381,7 @@ Status FaultInjectionEnv::CrashLocked() {
   for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
        ++it) {
     if (target_->FileExists(it->to) && !target_->FileExists(it->from))
-      target_->RenameFile(it->to, it->from);
+      (void)target_->RenameFile(it->to, it->from);  // best-effort rollback
   }
   pending_renames_.clear();
   return Status::IOError("injected crash: un-synced data dropped");
@@ -391,7 +394,7 @@ std::string FaultInjectionEnv::DirOf(const std::string& path) {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path, const WritableFileOptions& opts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   uint64_t existing = 0;
   if (!opts.truncate) {
@@ -413,7 +416,7 @@ Result<std::unique_ptr<SequentialFile>> FaultInjectionEnv::NewSequentialFile(
     const std::string& path) {
   bool corrupt;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return Status::IOError(kCrashedMessage);
     corrupt = !corrupt_read_substring_.empty() &&
               path.find(corrupt_read_substring_) != std::string::npos;
@@ -442,20 +445,20 @@ Result<std::vector<std::string>> FaultInjectionEnv::GetChildren(
 }
 
 Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   return target_->CreateDirs(dir);
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   return target_->RemoveFile(path);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   renames_++;
   if (fail_rename_countdown_ > 0 && --fail_rename_countdown_ == 0)
@@ -474,7 +477,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   SL_RETURN_IF_ERROR(target_->TruncateFile(path, size));
   auto it = files_.find(path);
@@ -486,7 +489,7 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   syncs_++;
   SL_RETURN_IF_ERROR(CheckSyncLocked());
@@ -500,7 +503,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& dir) {
 }
 
 Status FaultInjectionEnv::MakeReadOnly(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   return target_->MakeReadOnly(path);
 }

@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "util/result.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -175,26 +175,27 @@ class FaultInjectionEnv : public Env {
   };
 
   /// Returns the injected error if a fault should fire for this operation
-  /// kind, decrementing the countdown. Caller holds mu_.
-  Status CheckWriteLocked();
-  Status CheckSyncLocked();
-  Status CrashLocked();  // drops un-synced state; returns the crash error
+  /// kind, decrementing the countdown.
+  Status CheckWriteLocked() REQUIRES(mu_);
+  Status CheckSyncLocked() REQUIRES(mu_);
+  /// Drops un-synced state; returns the crash error.
+  Status CrashLocked() REQUIRES(mu_);
   static std::string DirOf(const std::string& path);
 
-  Env* target_;
-  mutable std::mutex mu_;
-  Random rng_;
-  bool crashed_ = false;
-  int fail_write_countdown_ = -1;
-  int fail_sync_countdown_ = -1;
-  int fail_rename_countdown_ = -1;
-  int crash_sync_countdown_ = -1;
-  std::string corrupt_read_substring_;
-  uint64_t writes_ = 0;
-  uint64_t syncs_ = 0;
-  uint64_t renames_ = 0;
-  std::map<std::string, FileState> files_;
-  std::vector<PendingRename> pending_renames_;
+  Env* const target_;
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  bool crashed_ GUARDED_BY(mu_) = false;
+  int fail_write_countdown_ GUARDED_BY(mu_) = -1;
+  int fail_sync_countdown_ GUARDED_BY(mu_) = -1;
+  int fail_rename_countdown_ GUARDED_BY(mu_) = -1;
+  int crash_sync_countdown_ GUARDED_BY(mu_) = -1;
+  std::string corrupt_read_substring_ GUARDED_BY(mu_);
+  uint64_t writes_ GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t renames_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
+  std::vector<PendingRename> pending_renames_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlledger

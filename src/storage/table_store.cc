@@ -1,7 +1,5 @@
 #include "storage/table_store.h"
 
-#include <mutex>
-
 namespace sqlledger {
 
 TableStore::TableStore(uint32_t table_id, std::string name, Schema schema)
@@ -18,7 +16,7 @@ KeyTuple TableStore::IndexKeyOf(const SecondaryIndex& idx,
 }
 
 Status TableStore::Insert(const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   SL_RETURN_IF_ERROR(schema_.ValidateRow(row));
   KeyTuple pk = schema_.ExtractKey(row);
   if (clustered_.Contains(pk))
@@ -45,7 +43,7 @@ Status TableStore::Insert(const Row& row) {
 }
 
 Status TableStore::Update(const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   SL_RETURN_IF_ERROR(schema_.ValidateRow(row));
   KeyTuple pk = schema_.ExtractKey(row);
   const Row* old_row = clustered_.Get(pk);
@@ -55,7 +53,8 @@ Status TableStore::Update(const Row& row) {
     KeyTuple old_key = IndexKeyOf(*idx, *old_row);
     KeyTuple new_key = IndexKeyOf(*idx, row);
     if (CompareKeys(old_key, new_key) != 0) {
-      idx->tree.Delete(old_key);
+      // The clustered row was just read, so its index entry exists.
+      (void)idx->tree.Delete(old_key);
       Row pk_row(pk.begin(), pk.end());
       idx->tree.Upsert(std::move(new_key), std::move(pk_row));
     }
@@ -64,12 +63,13 @@ Status TableStore::Update(const Row& row) {
 }
 
 Status TableStore::Delete(const KeyTuple& key) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   const Row* old_row = clustered_.Get(key);
   if (old_row == nullptr)
     return Status::NotFound("row not found in table '" + name_ + "'");
   for (const auto& idx : indexes_) {
-    idx->tree.Delete(IndexKeyOf(*idx, *old_row));
+    // The clustered row was just read, so its index entry exists.
+    (void)idx->tree.Delete(IndexKeyOf(*idx, *old_row));
   }
   return clustered_.Delete(key);
 }
@@ -79,14 +79,14 @@ const Row* TableStore::Get(const KeyTuple& key) const {
 }
 
 std::optional<Row> TableStore::GetCopy(const KeyTuple& key) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   const Row* row = clustered_.Get(key);
   if (row == nullptr) return std::nullopt;
   return *row;
 }
 
 std::optional<Row> TableStore::SeekFirstCopy(const KeyTuple& prefix) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   BTree::Iterator it = clustered_.Seek(prefix);
   if (!it.Valid() || it.key().size() < prefix.size()) return std::nullopt;
   for (size_t i = 0; i < prefix.size(); i++) {
@@ -96,7 +96,7 @@ std::optional<Row> TableStore::SeekFirstCopy(const KeyTuple& prefix) const {
 }
 
 void TableStore::ExtendRows(const Value& value) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   std::vector<KeyTuple> keys;
   keys.reserve(clustered_.size());
   for (BTree::Iterator it = clustered_.Begin(); it.Valid(); it.Next())
@@ -110,7 +110,7 @@ void TableStore::ExtendRows(const Value& value) {
 Status TableStore::CreateIndex(const std::string& index_name,
                                const std::vector<size_t>& ordinals,
                                bool unique) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   if (FindIndexLocked(index_name) != nullptr)
     return Status::AlreadyExists("index '" + index_name + "' already exists");
   for (size_t ord : ordinals) {
@@ -146,7 +146,7 @@ Status TableStore::CreateIndex(const std::string& index_name,
 }
 
 Status TableStore::DropIndex(const std::string& index_name) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   for (size_t i = 0; i < indexes_.size(); i++) {
     if (indexes_[i]->name == index_name) {
       indexes_.erase(indexes_.begin() + i);
@@ -157,7 +157,7 @@ Status TableStore::DropIndex(const std::string& index_name) {
 }
 
 SecondaryIndex* TableStore::FindIndex(const std::string& index_name) {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   return FindIndexLocked(index_name);
 }
 

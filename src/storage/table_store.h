@@ -17,7 +17,6 @@
 
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "storage/btree.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -51,7 +51,10 @@ class TableStore {
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
 
-  size_t row_count() const { return clustered_.size(); }
+  size_t row_count() const {
+    ReaderMutexLock latch(&latch_);
+    return clustered_.size();
+  }
 
   // ---- Row operations. Rows are full physical rows (hidden columns
   // included); all secondary indexes are maintained. ----
@@ -65,8 +68,10 @@ class TableStore {
   Status Delete(const KeyTuple& key);
 
   /// Point lookup by primary key; pointer valid until next mutation.
-  /// Unlatched — see the class comment.
-  const Row* Get(const KeyTuple& key) const;
+  /// Unlatched BY CONTRACT (class comment): callers exclude writers via a
+  /// table S lock, a quiesce, or single-threaded context, which the
+  /// analysis cannot see — hence the annotation escape.
+  const Row* Get(const KeyTuple& key) const NO_THREAD_SAFETY_ANALYSIS;
 
   /// Latched point lookup returning a copy; safe under concurrent writers
   /// of other rows.
@@ -76,9 +81,15 @@ class TableStore {
   /// key starts with `prefix`.
   std::optional<Row> SeekFirstCopy(const KeyTuple& prefix) const;
 
-  /// Ordered scan over the clustered index. Unlatched — see class comment.
-  BTree::Iterator Scan() const { return clustered_.Begin(); }
-  BTree::Iterator Seek(const KeyTuple& key) const {
+  /// Ordered scan over the clustered index. Unlatched BY CONTRACT (class
+  /// comment): the returned iterator outlives any latch we could take here,
+  /// so callers must exclude writers for its lifetime — invisible to the
+  /// analysis, hence the escapes.
+  BTree::Iterator Scan() const NO_THREAD_SAFETY_ANALYSIS {
+    return clustered_.Begin();
+  }
+  /// Same unlatched contract as Scan().
+  BTree::Iterator Seek(const KeyTuple& key) const NO_THREAD_SAFETY_ANALYSIS {
     return clustered_.Seek(key);
   }
 
@@ -87,7 +98,11 @@ class TableStore {
   Status CreateIndex(const std::string& index_name,
                      const std::vector<size_t>& ordinals, bool unique);
   Status DropIndex(const std::string& index_name);
-  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const {
+  /// Unlatched BY CONTRACT like Scan: the returned reference outlives any
+  /// latch; used by the verifier under quiesce and by DDL under a table X
+  /// lock.
+  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const
+      NO_THREAD_SAFETY_ANALYSIS {
     return indexes_;
   }
   SecondaryIndex* FindIndex(const std::string& index_name);
@@ -99,21 +114,26 @@ class TableStore {
 
   /// Used only by tamper-simulation tests and benches: mutate index/base
   /// rows directly, bypassing all maintenance (the storage-level attacker
-  /// of the paper's threat model §2.5.2).
-  BTree* mutable_clustered() { return &clustered_; }
+  /// of the paper's threat model §2.5.2). Unlatched by design — the
+  /// attacker does not honor latches.
+  BTree* mutable_clustered() NO_THREAD_SAFETY_ANALYSIS { return &clustered_; }
 
   KeyTuple KeyOf(const Row& row) const { return schema_.ExtractKey(row); }
 
  private:
   KeyTuple IndexKeyOf(const SecondaryIndex& idx, const Row& row) const;
-  SecondaryIndex* FindIndexLocked(const std::string& index_name);
+  SecondaryIndex* FindIndexLocked(const std::string& index_name)
+      REQUIRES_SHARED(latch_);
 
   uint32_t table_id_;
   std::string name_;
+  // schema_ is mutated only by DDL under a table X lock (2PL protocol, not
+  // latch_) — see DESIGN.md §8.
   Schema schema_;
-  mutable std::shared_mutex latch_;  // physical consistency, not isolation
-  BTree clustered_;
-  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  // Physical consistency, not isolation.
+  mutable SharedMutex latch_;
+  BTree clustered_ GUARDED_BY(latch_);
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_ GUARDED_BY(latch_);
 };
 
 }  // namespace sqlledger

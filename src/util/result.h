@@ -14,7 +14,7 @@ namespace sqlledger {
 
 /// Holds either a T or a non-OK Status describing why the T is absent.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return my_value;`
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

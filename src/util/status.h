@@ -28,7 +28,7 @@ enum class StatusCode : int {
 
 /// The result of an operation that can fail. Cheap to copy when OK (no
 /// allocation); carries a code and message otherwise.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 

@@ -5,13 +5,13 @@
 #ifndef SQLLEDGER_UTIL_THREADPOOL_H_
 #define SQLLEDGER_UTIL_THREADPOOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -27,10 +27,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.SignalAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -40,16 +40,16 @@ class ThreadPool {
   /// Enqueues a task.
   void Submit(std::function<void()> fn) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(fn));
     }
-    cv_.notify_one();
+    cv_.Signal();
   }
 
   /// Blocks until every submitted task has finished.
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    MutexLock lock(&mu_);
+    while (!queue_.empty() || running_ != 0) idle_cv_.Wait(&mu_);
   }
 
   size_t worker_count() const { return workers_.size(); }
@@ -59,8 +59,8 @@ class ThreadPool {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -68,20 +68,20 @@ class ThreadPool {
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         running_--;
-        if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+        if (queue_.empty() && running_ == 0) idle_cv_.SignalAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t running_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t running_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 /// Runs fn(begin, end) over contiguous chunks of [0, n), distributed across
@@ -112,20 +112,21 @@ inline void ParallelFor(ThreadPool* pool, size_t n,
                         begin + chunk_size < n ? begin + chunk_size : n);
 
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
-  } latch{{}, {}, ranges.size()};
+    explicit Latch(size_t n) : remaining(n) {}
+    Mutex mu;
+    CondVar cv;
+    size_t remaining GUARDED_BY(mu);
+  } latch(ranges.size());
 
   for (const auto& [begin, end] : ranges) {
     pool->Submit([&fn, &latch, begin = begin, end = end] {
       fn(begin, end);
-      std::lock_guard<std::mutex> lock(latch.mu);
-      if (--latch.remaining == 0) latch.cv.notify_all();
+      MutexLock lock(&latch.mu);
+      if (--latch.remaining == 0) latch.cv.SignalAll();
     });
   }
-  std::unique_lock<std::mutex> lock(latch.mu);
-  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(&latch.mu);
+  while (latch.remaining != 0) latch.cv.Wait(&latch.mu);
 }
 
 }  // namespace sqlledger

@@ -9,10 +9,10 @@ SimulatedConsensusLedger::SimulatedConsensusLedger(ConsensusConfig config)
 
 SimulatedConsensusLedger::~SimulatedConsensusLedger() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   orderer_.join();
 }
 
@@ -36,15 +36,12 @@ uint64_t SimulatedConsensusLedger::Submit(Slice payload) {
   // Phase 2+3: submit to ordering and wait for the block to cut and commit.
   Pending pending;
   pending.digest = digest;
-  uint64_t wait_start;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.submit_seq = next_seq_++;
-    wait_start = pending.submit_seq;
-    (void)wait_start;
     batch_.push_back(&pending);
-    if (batch_.size() >= config_.block_size) cv_.notify_all();
-    cv_.wait(lock, [&] { return pending.committed || stop_; });
+    if (batch_.size() >= config_.block_size) cv_.SignalAll();
+    while (!pending.committed && !stop_) cv_.Wait(&mu_);
   }
 
   // Total simulated latency: endorsement + half the block interval on
@@ -56,7 +53,7 @@ uint64_t SimulatedConsensusLedger::Submit(Slice payload) {
       static_cast<uint64_t>(config_.block_interval.count()) / 2 +
       static_cast<uint64_t>(validation.count());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.committed++;
     stats_.total_latency_micros += latency;
   }
@@ -64,12 +61,14 @@ uint64_t SimulatedConsensusLedger::Submit(Slice payload) {
 }
 
 void SimulatedConsensusLedger::OrdererLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
     // Cut a block when the interval elapses or the batch is full.
-    cv_.wait_for(lock, Scaled(config_.block_interval), [this] {
-      return stop_ || batch_.size() >= config_.block_size;
-    });
+    auto deadline =
+        std::chrono::steady_clock::now() + Scaled(config_.block_interval);
+    while (!stop_ && batch_.size() < config_.block_size) {
+      if (!cv_.WaitUntil(&mu_, deadline)) break;  // interval elapsed
+    }
     if (stop_) break;
     if (batch_.empty()) continue;
 
@@ -86,22 +85,23 @@ void SimulatedConsensusLedger::OrdererLoop() {
     // Block validation and commit at the peers: hash chaining plus
     // per-transaction signature checks, simulated as scaled sleep while
     // the lock is released so new submissions keep arriving.
-    lock.unlock();
+    mu_.Unlock();
     std::this_thread::sleep_for(Scaled(
         config_.per_txn_validation * static_cast<int64_t>(block.size())));
-    lock.lock();
+    mu_.Lock();
 
     for (Pending* p : block) p->committed = true;
     stats_.blocks++;
-    cv_.notify_all();
+    cv_.SignalAll();
   }
   // Drain anything still waiting so Submit callers wake up on shutdown.
   for (Pending* p : batch_) p->committed = true;
-  cv_.notify_all();
+  cv_.SignalAll();
+  mu_.Unlock();
 }
 
 ConsensusStats SimulatedConsensusLedger::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

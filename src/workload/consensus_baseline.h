@@ -17,15 +17,14 @@
 #define SQLLLEDGER_WORKLOAD_CONSENSUS_BASELINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "crypto/sha256.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlledger {
 
@@ -77,17 +76,20 @@ class SimulatedConsensusLedger {
 
   ConsensusConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   struct Pending {
     Hash256 digest;
     uint64_t submit_seq;
+    // Written by the orderer, read by the submitting thread — both under
+    // the ledger's mu_ (the struct lives on the submitter's stack, so it
+    // cannot carry a GUARDED_BY reference to it).
     bool committed = false;
   };
-  std::vector<Pending*> batch_;
-  uint64_t next_seq_ = 0;
-  ConsensusStats stats_;
-  bool stop_ = false;
+  std::vector<Pending*> batch_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  ConsensusStats stats_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread orderer_;
 };
 

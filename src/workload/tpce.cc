@@ -326,6 +326,7 @@ Status TpceWorkload::TradeStatus(Random* rng) {
         1, newest - rng->UniformRange(0, std::min<int64_t>(newest, 200)));
     auto trade = db_->Get(*txn, "trade", {B(t_id)});
     if (trade.ok()) {
+      // Read-only touches modeling the frame lookup; absence is fine.
       (void)db_->Get(*txn, "trade_history", {B(t_id), S("SBMT")});
       (void)db_->Get(*txn, "trade_history", {B(t_id), S("CMPT")});
     }
@@ -391,9 +392,11 @@ Status TpceWorkload::SecurityDetail(Random* rng) {
   auto quote = db_->Get(*txn, "last_trade", {B(s_id)});
   if (!quote.ok()) return fail(quote.status());
   for (int i = 0; i < 30; i++) {
+    // Read-only market-feed touches; absence is fine.
     (void)db_->Get(*txn, "daily_market", {B(rng->UniformRange(1, 5))});
     (void)db_->Get(*txn, "financial", {B(rng->UniformRange(1, 5))});
   }
+  // Read-only reference-data touches; absence is fine.
   (void)db_->Get(*txn, "company", {B(rng->UniformRange(1, 5))});
   (void)db_->Get(*txn, "exchange", {B(rng->UniformRange(1, 5))});
   return db_->Commit(*txn);

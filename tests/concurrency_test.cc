@@ -200,9 +200,9 @@ TEST_F(ConcurrencyTest, DigestGenerationDuringLoad) {
       auto txn = db_->Begin("w");
       if (!txn.ok()) continue;
       if (db_->Insert(*txn, "t0", {VB(100000 + i++), VS("x")}).ok()) {
-        db_->Commit(*txn);
+        (void)db_->Commit(*txn);  // contention aborts are expected here
       } else {
-        db_->Abort(*txn);
+        (void)db_->Abort(*txn);
       }
     }
   });
@@ -242,7 +242,7 @@ TEST_F(ConcurrencyTest, ReadersShareLocks) {
         auto txn = db_->Begin("r");
         if (!txn.ok()) continue;
         if (db_->Get(*txn, "shared", {VB(1)}).ok()) ok_reads++;
-        db_->Commit(*txn);
+        ASSERT_TRUE(db_->Commit(*txn).ok());
       }
     });
   }

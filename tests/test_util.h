@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -97,7 +98,9 @@ inline std::unique_ptr<LedgerDatabase> OpenTestDb(uint64_t block_size = 4,
   options.enable_ledger = enable_ledger;
   options.block_size = block_size;
   options.database_id = "testdb";
-  static int64_t fake_clock = 1000000;
+  // Atomic: the clock is called from committers, digest uploaders and
+  // verifier threads concurrently.
+  static std::atomic<int64_t> fake_clock{1000000};
   options.clock = [] { return ++fake_clock; };
   auto db = LedgerDatabase::Open(std::move(options));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
