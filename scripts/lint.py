@@ -29,6 +29,13 @@ to the offending line — use sparingly and say why on an adjacent comment):
   void-discard    `(void)` discard of an expression with no trailing comment.
                   Status and Result are [[nodiscard]]; a silenced discard must
                   justify itself (e.g. `// best-effort cleanup`).
+  digest-decorator-coverage
+                  (repo-level) every class in src/ deriving from DigestStore —
+                  store implementations and fault-injecting decorators alike —
+                  must be exercised by at least one tier1 test (named in a
+                  source listed in tests/CMakeLists.txt SL_TEST_SOURCES). A
+                  decorator nobody tests silently stops injecting the faults
+                  the robustness suite depends on.
 
 Runtime budget: the whole pass must stay under 10 seconds (it runs as a CI
 job and as a pre-commit habit); it is pure stdlib + regex over a few hundred
@@ -240,12 +247,84 @@ def check_void_discard(path, lines, findings):
             "(say why ignoring the Status/Result is safe)"))
 
 
+# ---------------------------------------------------------------------------
+# Rule: digest-decorator-coverage (repo-level)
+# ---------------------------------------------------------------------------
+
+DIGEST_STORE_CLASS_RE = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*(?:public\s+)?DigestStore\b")
+SL_TEST_SOURCES_RE = re.compile(r"set\s*\(\s*SL_TEST_SOURCES(.*?)\)", re.DOTALL)
+
+
+def check_digest_decorator_coverage(findings, root=None):
+    """Repo-level check: collects every DigestStore subclass declared in src/
+    and requires its name to appear in at least one tier1 test source."""
+    root = root or REPO_ROOT
+    classes = {}  # name -> (path, lineno)
+    base = os.path.join(root, "src")
+    for dirpath, _dirs, files in os.walk(base):
+        for f in sorted(files):
+            if not f.endswith(CPP_EXT):
+                continue
+            path = os.path.join(dirpath, f)
+            try:
+                with open(path, encoding="utf-8", errors="replace") as fh:
+                    lines = fh.readlines()
+            except OSError:
+                continue
+            for i, raw in enumerate(lines, 1):
+                m = DIGEST_STORE_CLASS_RE.search(strip_noise(raw))
+                if m and not allowed(raw, "digest-decorator-coverage"):
+                    classes[m.group(1)] = (path, i)
+    if not classes:
+        return
+
+    cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+    try:
+        with open(cmake_path, encoding="utf-8") as fh:
+            cmake = fh.read()
+    except OSError:
+        findings.append(Finding(
+            "digest-decorator-coverage", cmake_path, 1,
+            "cannot read tests/CMakeLists.txt to resolve tier1 sources"))
+        return
+    m = SL_TEST_SOURCES_RE.search(cmake)
+    if not m:
+        findings.append(Finding(
+            "digest-decorator-coverage", cmake_path, 1,
+            "no set(SL_TEST_SOURCES ...) block found"))
+        return
+    tier1_text = ""
+    for token in m.group(1).split():
+        if not token.endswith(".cc"):
+            continue
+        test_path = os.path.join(root, "tests", token)
+        try:
+            with open(test_path, encoding="utf-8", errors="replace") as fh:
+                tier1_text += fh.read()
+        except OSError:
+            continue
+
+    for name, (path, lineno) in sorted(classes.items()):
+        if name not in tier1_text:
+            findings.append(Finding(
+                "digest-decorator-coverage", path, lineno,
+                f"DigestStore subclass {name} is not exercised by any tier1 "
+                "test (no mention in the SL_TEST_SOURCES files); add one so "
+                "its injected faults/contract stay covered"))
+
+
 CHECKS = [
     ("determinism", ALL_CODE_DIRS, check_determinism),
     ("raw-sha", ALL_CODE_DIRS, check_raw_sha),
     ("raw-sync", SRC_DIRS, check_raw_sync),
     ("tsa-escape", SRC_DIRS, check_tsa_escape),
     ("void-discard", SRC_DIRS, check_void_discard),
+]
+
+# Checks that look at the whole tree at once rather than one file at a time.
+REPO_CHECKS = [
+    ("digest-decorator-coverage", check_digest_decorator_coverage),
 ]
 
 
@@ -264,6 +343,8 @@ def run_lint():
                     print(f"lint.py: cannot read {path}: {e}", file=sys.stderr)
                     return 2
             check(path, cache[path], findings)
+    for _rule, check in REPO_CHECKS:
+        check(findings)
     findings.sort(key=lambda f: (f.path, f.lineno, f.rule))
     for f in findings:
         print(f)
@@ -310,10 +391,45 @@ SELF_TEST_CASES = [
 ]
 
 
+def self_test_digest_decorator_coverage():
+    """The repo-level rule needs a whole miniature tree, not a single file:
+    fire when a DigestStore subclass is absent from every tier1 source, stay
+    quiet once a listed test names it."""
+    failures = 0
+    for variant, test_body, expect_fire in (
+            ("bad", "TEST(X, Y) { InMemoryDigestStore s; }", True),
+            ("good", "TEST(X, Y) { GhostDigestStore s; }", False)):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "src", "ledger")
+            tests = os.path.join(tmp, "tests")
+            os.makedirs(src)
+            os.makedirs(tests)
+            with open(os.path.join(src, "ghost_store.h"), "w",
+                      encoding="utf-8") as f:
+                f.write("class GhostDigestStore : public DigestStore {};\n")
+            with open(os.path.join(tests, "CMakeLists.txt"), "w",
+                      encoding="utf-8") as f:
+                f.write("set(SL_TEST_SOURCES\n  ghost_test.cc\n)\n")
+            with open(os.path.join(tests, "ghost_test.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write(test_body + "\n")
+            findings = []
+            check_digest_decorator_coverage(findings, root=tmp)
+            fired = any(f.rule == "digest-decorator-coverage"
+                        for f in findings)
+            if fired != expect_fire:
+                failures += 1
+                print(f"SELF-TEST FAIL [digest-decorator-coverage/{variant}]:"
+                      f" {'did not fire' if expect_fire else 'fired'}",
+                      file=sys.stderr)
+    return failures
+
+
 def run_self_test():
     global REPO_ROOT
     real_root = REPO_ROOT
     failures = 0
+    failures += self_test_digest_decorator_coverage()
     for rule, rel, bad, good in SELF_TEST_CASES:
         for variant, text, expect_fire in (("bad", bad, True),
                                            ("good", good, False)):
@@ -340,7 +456,7 @@ def run_self_test():
     if failures:
         print(f"lint.py --self-test: {failures} failure(s).", file=sys.stderr)
         return 1
-    print(f"lint.py --self-test: all {len(SELF_TEST_CASES)} cases pass "
+    print(f"lint.py --self-test: all {len(SELF_TEST_CASES) + 2} cases pass "
           "(each rule fires on its seeded violation, stays quiet on the fix).")
     return 0
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "ledger/digest_pipeline.h"
 #include "util/coding.h"
 #include "util/hex.h"
 #include "util/json.h"
@@ -10,6 +11,27 @@
 namespace sqlledger {
 
 namespace {
+
+/// Implements the DigestStore::Upload idempotency contract against the
+/// digests already stored for the incarnation: OK (skip the store) for a
+/// byte-identical retry, IntegrityViolation for a fork (same block of the
+/// same database+incarnation, different hash), nullopt-style fallthrough
+/// (kNotFound) when the digest is genuinely new and should be stored.
+Status CheckDuplicateUpload(const std::vector<DatabaseDigest>& existing,
+                            const DatabaseDigest& digest) {
+  for (const DatabaseDigest& d : existing) {
+    if (d == digest)
+      return Status::OK();  // idempotent retry / duplicate delivery
+    if (d.database_id == digest.database_id &&
+        d.database_create_time == digest.database_create_time &&
+        d.block_id == digest.block_id && !(d.block_hash == digest.block_hash))
+      return Status::IntegrityViolation(
+          "fork detected at upload: block " + std::to_string(digest.block_id) +
+          " of incarnation '" + digest.database_create_time +
+          "' is already stored with a different hash");
+  }
+  return Status::NotFound("new digest");
+}
 
 /// Wraps a digest document in a CRC-carrying envelope so blob corruption is
 /// detected at read time rather than trusted.
@@ -46,7 +68,11 @@ Result<DatabaseDigest> DecodeBlobEnvelope(const std::string& blob,
 
 Status InMemoryDigestStore::Upload(const DatabaseDigest& digest) {
   MutexLock lock(&mu_);
-  by_incarnation_[digest.database_create_time].push_back(digest);
+  std::vector<DatabaseDigest>& digests =
+      by_incarnation_[digest.database_create_time];
+  Status dup = CheckDuplicateUpload(digests, digest);
+  if (!dup.IsNotFound()) return dup;
+  digests.push_back(digest);
   return Status::OK();
 }
 
@@ -91,6 +117,31 @@ Status ImmutableBlobDigestStore::Upload(const DatabaseDigest& digest) {
   Status st = env_->CreateDirs(dir);
   if (!st.ok())
     return Status::IOError("cannot create incarnation dir: " + st.message());
+
+  // Idempotency pass over the incarnation's stored blobs: a retried upload
+  // of identical content (ambiguous first attempt, duplicate delivery)
+  // returns OK without a second blob, while divergent content for an
+  // already-stored block is a fork. O(blobs) reads per upload is fine at
+  // digest cadence; a real blob service answers this with a content ETag.
+  {
+    std::vector<DatabaseDigest> existing;
+    auto blobs = env_->GetChildren(dir);
+    if (blobs.ok()) {
+      for (const std::string& blob_name : *blobs) {
+        std::string path = dir + "/" + blob_name;
+        auto bytes = env_->ReadFile(path);
+        if (!bytes.ok())
+          return Status::IOError("cannot read digest blob " + path + ": " +
+                                 bytes.status().message());
+        auto stored = DecodeBlobEnvelope(
+            std::string(bytes->begin(), bytes->end()), path);
+        if (!stored.ok()) return stored.status();
+        existing.push_back(std::move(*stored));
+      }
+    }
+    Status dup = CheckDuplicateUpload(existing, digest);
+    if (!dup.IsNotFound()) return dup;
+  }
 
   // Sequence number = number of existing blobs. The exclusive create is
   // the write-once enforcement: an existing blob is NEVER opened for
@@ -278,11 +329,17 @@ void PeriodicDigestUploader::Loop() {
     auto uploaded = GenerateAndUploadDigest(db_, store_);
     mu_.Lock();
     if (!uploaded.ok()) {
-      // A fork detection (or storage) failure is a serious event: latch it
-      // and stop uploading, mirroring the paper's alert-and-stop behaviour.
       error_ = uploaded.status();
-      break;
+      // Only fatal errors (fork detected, corruption) latch and stop the
+      // cadence — the paper's alert-and-stop behaviour. A transient store
+      // failure (timeout, outage) must NOT end digest protection: record
+      // it and keep trying on the next tick.
+      if (ClassifyDigestUploadError(uploaded.status()) ==
+          DigestErrorClass::kFatal)
+        break;
+      continue;
     }
+    error_ = Status::OK();
     uploads_++;
   }
   mu_.Unlock();

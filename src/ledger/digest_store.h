@@ -37,6 +37,16 @@ class DigestStore {
   virtual ~DigestStore() = default;
 
   /// Stores a digest. Write-once: implementations never overwrite.
+  ///
+  /// Idempotency contract (DESIGN.md §9): uploads ride a retrying network
+  /// path, so a digest may arrive more than once — including after an
+  /// ambiguous outcome where the first upload was stored but its ack lost.
+  /// Re-uploading byte-identical content returns OK without storing a
+  /// second copy. A digest that covers an already-stored block of the same
+  /// database+incarnation with a DIFFERENT block hash is a fork and fails
+  /// with IntegrityViolation. (Same block with the same hash but different
+  /// generation time is a legitimate re-digest of a quiet database and is
+  /// stored normally.)
   virtual Status Upload(const DatabaseDigest& digest) = 0;
   /// Every stored digest, across all incarnations, upload order preserved
   /// within an incarnation.
@@ -128,8 +138,12 @@ bool VerifySignedDigest(const SignedDigest& signed_digest,
 
 /// Automates the paper's "every few seconds" digest cadence (§2.4): a
 /// background thread that calls GenerateAndUploadDigest on an interval.
-/// Stops on destruction; a fork detection failure stops the uploader and
-/// latches the error.
+/// Stops on destruction. Only FATAL errors (fork detected, corruption —
+/// see ClassifyDigestUploadError) latch and stop the uploader; transient
+/// store errors (timeouts, outages) are recorded in last_error() and the
+/// cadence keeps retrying, so a network blip never silently ends digest
+/// protection. For retry backoff, a durable outbox and a health surface,
+/// use DigestUploadPipeline (digest_pipeline.h) instead.
 class PeriodicDigestUploader {
  public:
   PeriodicDigestUploader(LedgerDatabase* db, DigestStore* store,
@@ -141,7 +155,8 @@ class PeriodicDigestUploader {
 
   void Stop();
   uint64_t uploads() const { return uploads_.load(); }
-  /// First error encountered (OK while healthy).
+  /// Most recent upload error: cleared by the next success, permanent once
+  /// a fatal error latches. OK while healthy.
   Status last_error() const;
 
  private:

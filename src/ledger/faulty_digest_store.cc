@@ -1,0 +1,170 @@
+#include "ledger/faulty_digest_store.h"
+
+namespace sqlledger {
+
+namespace {
+
+/// Status factories are the only public constructors; map the configured
+/// code onto one (unknown codes degrade to IOError, the generic network
+/// failure).
+Status MakeInjectedStatus(StatusCode code, const std::string& msg) {
+  switch (code) {
+    case StatusCode::kBusy:
+      return Status::Busy(msg);
+    case StatusCode::kAborted:
+      return Status::Aborted(msg);
+    case StatusCode::kInternal:
+      return Status::Internal(msg);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(msg);
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(msg);
+    default:
+      return Status::IOError(msg);
+  }
+}
+
+}  // namespace
+
+FaultyDigestStore::FaultyDigestStore(DigestStore* target, uint64_t seed)
+    : target_(target), rng_(seed) {}
+
+void FaultyDigestStore::SetOutage(bool active) {
+  MutexLock lock(&mu_);
+  outage_ = active;
+}
+
+bool FaultyDigestStore::outage() const {
+  MutexLock lock(&mu_);
+  return outage_;
+}
+
+void FaultyDigestStore::FailUploads(int n, StatusCode code) {
+  MutexLock lock(&mu_);
+  fail_countdown_ = n;
+  fail_code_ = code;
+}
+
+void FaultyDigestStore::LoseAcks(int n) {
+  MutexLock lock(&mu_);
+  lose_ack_countdown_ = n;
+}
+
+void FaultyDigestStore::DeliverDuplicates(int n) {
+  MutexLock lock(&mu_);
+  duplicate_countdown_ = n;
+}
+
+void FaultyDigestStore::SetProbabilities(const Probabilities& p) {
+  MutexLock lock(&mu_);
+  prob_ = p;
+}
+
+uint64_t FaultyDigestStore::upload_attempts() const {
+  MutexLock lock(&mu_);
+  return attempts_;
+}
+
+uint64_t FaultyDigestStore::injected_failures() const {
+  MutexLock lock(&mu_);
+  return injected_failures_;
+}
+
+uint64_t FaultyDigestStore::lost_acks() const {
+  MutexLock lock(&mu_);
+  return lost_acks_;
+}
+
+uint64_t FaultyDigestStore::duplicates_delivered() const {
+  MutexLock lock(&mu_);
+  return duplicates_;
+}
+
+Status FaultyDigestStore::CheckReadLocked() const {
+  if (outage_)
+    return Status::IOError(
+        "digest store unreachable (injected outage)");
+  return Status::OK();
+}
+
+Status FaultyDigestStore::Upload(const DatabaseDigest& digest) {
+  // Decide the fault under the lock, perform target I/O outside it, so a
+  // slow (real) store never serializes fault scheduling.
+  enum class Action { kReject, kAckLost, kDuplicate, kPass };
+  Action action = Action::kPass;
+  Status reject = Status::OK();
+  {
+    MutexLock lock(&mu_);
+    attempts_++;
+    if (outage_) {
+      injected_failures_++;
+      action = Action::kReject;
+      reject = Status::IOError("digest store unreachable (injected outage)");
+    } else if (fail_countdown_ > 0) {
+      fail_countdown_--;
+      injected_failures_++;
+      action = Action::kReject;
+      reject =
+          MakeInjectedStatus(fail_code_, "injected transient upload failure");
+    } else if (lose_ack_countdown_ > 0) {
+      lose_ack_countdown_--;
+      action = Action::kAckLost;
+    } else if (duplicate_countdown_ > 0) {
+      duplicate_countdown_--;
+      action = Action::kDuplicate;
+    } else if (prob_.transient_error > 0 && rng_.Bernoulli(prob_.transient_error)) {
+      injected_failures_++;
+      action = Action::kReject;
+      reject = Status::IOError("injected transient upload failure (seeded)");
+    } else if (prob_.ack_lost > 0 && rng_.Bernoulli(prob_.ack_lost)) {
+      action = Action::kAckLost;
+    } else if (prob_.duplicate > 0 && rng_.Bernoulli(prob_.duplicate)) {
+      action = Action::kDuplicate;
+    }
+  }
+
+  switch (action) {
+    case Action::kReject:
+      return reject;
+    case Action::kAckLost: {
+      Status st = target_->Upload(digest);
+      if (!st.ok()) return st;  // the store really failed; report that
+      MutexLock lock(&mu_);
+      lost_acks_++;
+      return Status::IOError(
+          "injected ack loss: upload stored but response dropped");
+    }
+    case Action::kDuplicate: {
+      SL_RETURN_IF_ERROR(target_->Upload(digest));
+      {
+        MutexLock lock(&mu_);
+        duplicates_++;
+      }
+      // The duplicate rides the retry path of a real network: identical
+      // bytes arriving twice. An idempotent store absorbs it.
+      return target_->Upload(digest);
+    }
+    case Action::kPass:
+      return target_->Upload(digest);
+  }
+  return target_->Upload(digest);
+}
+
+Result<std::vector<DatabaseDigest>> FaultyDigestStore::ListAll() const {
+  {
+    MutexLock lock(&mu_);
+    SL_RETURN_IF_ERROR(CheckReadLocked());
+  }
+  return target_->ListAll();
+}
+
+Result<DatabaseDigest> FaultyDigestStore::Latest(
+    const std::string& create_time) const {
+  {
+    MutexLock lock(&mu_);
+    SL_RETURN_IF_ERROR(CheckReadLocked());
+  }
+  return target_->Latest(create_time);
+}
+
+}  // namespace sqlledger

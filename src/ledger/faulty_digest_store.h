@@ -1,0 +1,90 @@
+// Network-fault decorator for DigestStore (DESIGN.md §9). The paper's
+// digest store is a *remote* service (Azure Immutable Blob Storage) that
+// times out, throttles and partitions; every local implementation is
+// perfectly reliable, so nothing exercised the upload pipeline's failure
+// handling. This wrapper injects the faults a remote store actually
+// produces, with the same seeded-RNG conventions as FaultInjectionEnv:
+//
+//   - sustained outages (scripted begin/end; all calls fail while active),
+//   - one-shot transient upload errors (scripted countdowns),
+//   - ambiguous outcomes: the upload IS stored but the ack is lost, so the
+//     caller sees an error for a digest the store now holds,
+//   - duplicate delivery: one Upload reaches the store twice,
+//   - seeded probabilistic mixes of the above for torture tests.
+//
+// The wrapper never alters payloads — integrity faults (forks, corruption)
+// are the domain of the tamper machinery, not the network.
+
+#ifndef SQLLEDGER_LEDGER_FAULTY_DIGEST_STORE_H_
+#define SQLLEDGER_LEDGER_FAULTY_DIGEST_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "ledger/digest_store.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
+
+namespace sqlledger {
+
+class FaultyDigestStore : public DigestStore {
+ public:
+  /// Per-Upload fault probabilities for the seeded mode. Scripted controls
+  /// take precedence; probabilities apply only when no script fires.
+  struct Probabilities {
+    double transient_error = 0;  // upload fails, nothing stored
+    double ack_lost = 0;         // upload stored, error returned
+    double duplicate = 0;        // upload delivered twice
+  };
+
+  /// `target` is not owned and must outlive the wrapper.
+  explicit FaultyDigestStore(DigestStore* target, uint64_t seed = 42);
+
+  // ---- Scripted fault controls ----
+
+  /// Sustained outage: while active, Upload/ListAll/Latest all fail with
+  /// IOError (nothing reaches the target). Idempotent.
+  void SetOutage(bool active);
+  bool outage() const;
+  /// The next `n` uploads fail with `code` without reaching the target.
+  void FailUploads(int n, StatusCode code = StatusCode::kIOError);
+  /// The next `n` uploads are stored but report IOError ("ack lost").
+  void LoseAcks(int n);
+  /// The next `n` uploads are delivered to the target twice.
+  void DeliverDuplicates(int n);
+  /// Seeded probabilistic faults, rolled per upload in a fixed order
+  /// (transient, ack-lost, duplicate) so a seed replays byte-for-byte.
+  void SetProbabilities(const Probabilities& p);
+
+  // ---- Counters ----
+  uint64_t upload_attempts() const;
+  uint64_t injected_failures() const;  // outage + transient rejections
+  uint64_t lost_acks() const;
+  uint64_t duplicates_delivered() const;
+
+  // ---- DigestStore ----
+  Status Upload(const DatabaseDigest& digest) override;
+  Result<std::vector<DatabaseDigest>> ListAll() const override;
+  Result<DatabaseDigest> Latest(const std::string& create_time) const override;
+
+ private:
+  Status CheckReadLocked() const REQUIRES(mu_);
+
+  DigestStore* const target_;
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  bool outage_ GUARDED_BY(mu_) = false;
+  int fail_countdown_ GUARDED_BY(mu_) = 0;
+  StatusCode fail_code_ GUARDED_BY(mu_) = StatusCode::kIOError;
+  int lose_ack_countdown_ GUARDED_BY(mu_) = 0;
+  int duplicate_countdown_ GUARDED_BY(mu_) = 0;
+  Probabilities prob_ GUARDED_BY(mu_);
+  uint64_t attempts_ GUARDED_BY(mu_) = 0;
+  uint64_t injected_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t lost_acks_ GUARDED_BY(mu_) = 0;
+  uint64_t duplicates_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_LEDGER_FAULTY_DIGEST_STORE_H_

@@ -59,7 +59,11 @@ LedgerDatabase::LedgerDatabase(LedgerDatabaseOptions options)
   env_ = options_.env != nullptr ? options_.env : Env::Default();
 }
 
-LedgerDatabase::~LedgerDatabase() = default;
+LedgerDatabase::~LedgerDatabase() {
+  // The pipeline's cadence thread calls back into this database; stop it
+  // before any member it touches is destroyed.
+  StopDigestProtection();
+}
 
 Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
     LedgerDatabaseOptions options) {
@@ -855,6 +859,39 @@ Result<DatabaseDigest> LedgerDatabase::GenerateDigest() {
     SL_RETURN_IF_ERROR(wal_->AppendRecord(Slice(payload)));
   }
   return digest;
+}
+
+Status LedgerDatabase::StartDigestProtection(
+    DigestStore* store, DigestPipelineOptions pipeline_options,
+    std::chrono::milliseconds interval) {
+  if (ledger_ == nullptr)
+    return Status::NotSupported("ledger is disabled for this database");
+  if (digest_pipeline_ != nullptr)
+    return Status::Busy("digest protection is already running");
+  if (pipeline_options.outbox_dir.empty()) {
+    if (options_.data_dir.empty())
+      return Status::InvalidArgument(
+          "ephemeral database: digest protection needs an explicit "
+          "outbox_dir");
+    pipeline_options.outbox_dir = options_.data_dir + "/digest_outbox";
+  }
+  if (pipeline_options.env == nullptr) pipeline_options.env = env_;
+  auto pipeline =
+      DigestUploadPipeline::Open(this, store, std::move(pipeline_options));
+  if (!pipeline.ok()) return pipeline.status();
+  digest_pipeline_ = std::move(*pipeline);
+  if (interval != std::chrono::milliseconds::zero())
+    digest_pipeline_->Start(interval);
+  return Status::OK();
+}
+
+void LedgerDatabase::StopDigestProtection() { digest_pipeline_.reset(); }
+
+DigestProtectionStatus LedgerDatabase::GetDigestProtectionStatus() const {
+  if (digest_pipeline_ != nullptr) return digest_pipeline_->status();
+  DigestProtectionStatus s;
+  s.blocks_behind = ledger_ != nullptr ? ledger_->open_block_id() : 0;
+  return s;
 }
 
 Result<std::vector<LedgerViewRow>> LedgerDatabase::GetLedgerView(

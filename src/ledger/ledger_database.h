@@ -27,6 +27,7 @@
 #include "crypto/hmac.h"
 #include "ledger/database_ledger.h"
 #include "ledger/digest.h"
+#include "ledger/digest_pipeline.h"
 #include "ledger/ledger_table.h"
 #include "ledger/ledger_view.h"
 #include "storage/wal.h"
@@ -189,6 +190,26 @@ class LedgerDatabase {
   /// Generates a Database Digest (paper §2.2): closes the open block and
   /// returns the JSON-serializable digest of the newest block.
   Result<DatabaseDigest> GenerateDigest();
+
+  /// Starts fault-tolerant digest protection (DESIGN.md §9): builds a
+  /// DigestUploadPipeline targeting `store` (not owned, must outlive the
+  /// database or StopDigestProtection) and, when `interval` is non-zero,
+  /// starts its background cadence thread. An empty options.outbox_dir
+  /// defaults to "<data_dir>/digest_outbox"; an unset options.env defaults
+  /// to the database's Env. Fails if protection is already running or if
+  /// the database is ephemeral with no outbox_dir given.
+  Status StartDigestProtection(
+      DigestStore* store, DigestPipelineOptions pipeline_options = {},
+      std::chrono::milliseconds interval = std::chrono::milliseconds::zero());
+  /// Stops the cadence thread (if any) and tears down the pipeline. The
+  /// durable outbox stays on disk for the next StartDigestProtection.
+  void StopDigestProtection();
+  /// The running pipeline, or nullptr when protection is not started.
+  /// Tests and the simulator drive its synchronous core directly.
+  DigestUploadPipeline* digest_pipeline() { return digest_pipeline_.get(); }
+  /// Health snapshot. Without a pipeline this reports the honest worst
+  /// case: every closed block unprotected, no durable digest ever.
+  DigestProtectionStatus GetDigestProtectionStatus() const;
   /// Ledger view of one table (paper §2.1, Figure 2).
   Result<std::vector<LedgerViewRow>> GetLedgerView(const std::string& table);
   /// Table create/drop audit view (paper Figure 6).
@@ -298,6 +319,11 @@ class LedgerDatabase {
 
   LockManager locks_;
   HmacSigner signer_;
+
+  // Digest protection. Destroyed before ledger_/stores (member order: the
+  // destructor resets it explicitly first) since the pipeline calls back
+  // into the database.
+  std::unique_ptr<DigestUploadPipeline> digest_pipeline_;
 
   // Transaction registry + quiescing.
   mutable Mutex txn_mu_;

@@ -54,6 +54,7 @@ std::string SimResult::Summary() const {
      << " commits=" << commits << " crashes=" << crashes
      << " tampers=" << tampers << " truncations=" << truncations
      << " verifications=" << verifications << " digests=" << digests
+     << " outages=" << store_outages
      << " digest=" << final_digest_hex << " fp=" << outcome_fingerprint;
   if (!ok) os << " @" << divergent_op << ": " << message;
   return os.str();
@@ -150,7 +151,37 @@ Status SimDriver::OpenDb() {
   db_->database_ledger()->EnableAppendLog();
   applied_ = 0;
   txn_ = nullptr;
-  return Status::OK();
+
+  // The remote store is external to the database host: created once and
+  // untouched by crashes. Its fault decorator carries seeded network
+  // weather (transient errors, lost acks, duplicate deliveries) on top of
+  // the trace-scripted outage windows.
+  if (remote_store_ == nullptr) {
+    remote_store_ = std::make_unique<InMemoryDigestStore>();
+    faulty_store_ = std::make_unique<FaultyDigestStore>(
+        remote_store_.get(), config_.seed ^ 0xD16E57ULL);
+    FaultyDigestStore::Probabilities p;
+    p.transient_error = 0.05;
+    p.ack_lost = 0.05;
+    p.duplicate = 0.05;
+    faulty_store_->SetProbabilities(p);
+    faulty_store_->SetOutage(store_outage_);
+  }
+
+  // The pipeline dies and is rebuilt with the database (its outbox replays
+  // from disk through the fault env). Zero backoff/probe intervals keep
+  // replay deterministic under the 1µs-per-call driver clock: a Pump always
+  // attempts, and failure counting alone drives the breaker.
+  DigestPipelineOptions popts;
+  popts.outbox_dir = config_.data_dir + "/digest_outbox";
+  popts.env = fenv_.get();
+  popts.outbox_capacity = 32;
+  popts.initial_backoff_micros = 0;
+  popts.max_backoff_micros = 0;
+  popts.jitter = 0;
+  popts.probe_interval_micros = 0;
+  popts.seed = config_.seed ^ 0x9D1635ULL;
+  return db_->StartDigestProtection(faulty_store_.get(), std::move(popts));
 }
 
 Status SimDriver::Setup() {
@@ -431,6 +462,13 @@ bool SimDriver::HandleIfCrashed(size_t i, const std::function<void()>& resolve,
   if (diverged_) return true;
   if (!RebuildChain(i, check_prefix)) return true;
   FullAudit(i);
+  // The rebuilt pipeline replayed the outbox; a pump re-attempts the head
+  // (idempotently re-uploading anything whose ack the crash ate) and the
+  // audit re-checks store/submission-log agreement.
+  if (!diverged_ && db_->digest_pipeline() != nullptr) {
+    (void)db_->digest_pipeline()->Pump();  // audited just below
+    AuditDigestStore(i);
+  }
   return true;
 }
 
@@ -907,6 +945,7 @@ void SimDriver::DoDigest(size_t i) {
   ProbeTxnCounter(i);
   Note(std::to_string(i) + " digest block=" + std::to_string(d->block_id) +
        " hash=" + HashHex(d->block_hash));
+  SubmitDigestToPipeline(i, *d);
 }
 
 void SimDriver::DoReceipt(size_t i, const SimOp& op) {
@@ -1341,6 +1380,132 @@ void SimDriver::DoTruncate(size_t i, const SimOp& op) {
        CodeName(st.code()) + (removed_blocks ? " removed" : ""));
 }
 
+// ---- Digest protection ----
+
+bool SimDriver::SubmitDigestToPipeline(size_t i, const DatabaseDigest& d) {
+  DigestUploadPipeline* p = db_->digest_pipeline();
+  if (p == nullptr) return false;
+  Status st = p->SubmitDigest(d);
+  if (st.ok()) {
+    submission_log_.push_back({d.ToJson(), d.block_id, /*accepted=*/true});
+  } else if (fenv_->crashed()) {
+    // Ambiguous: the append may or may not have reached the outbox log
+    // before the crash. Either resolution is legal — the audit tolerates
+    // both — and recovery happens in the caller's safety net.
+    submission_log_.push_back({d.ToJson(), d.block_id, /*accepted=*/false});
+    return false;
+  } else if (st.code() == StatusCode::kBusy) {
+    // Outbox full mid-outage: a deterministic drop. The next accepted
+    // digest covers the whole chain, so protection resumes at recovery.
+    Note(std::to_string(i) + " digest_submit rejected (outbox full)");
+    return false;
+  } else {
+    Fail(i, "SubmitDigest: " + st.message());
+    return false;
+  }
+  (void)p->Pump();  // honors outage state; progress is audited below
+  if (fenv_->crashed()) return true;  // safety net recovers + audits
+  AuditDigestStore(i);
+  return true;
+}
+
+bool SimDriver::DrainPipeline(size_t i) {
+  DigestUploadPipeline* p = db_->digest_pipeline();
+  if (p == nullptr) return true;
+  // Seeded transient faults make individual rounds fail; with zero backoff
+  // every round retries, so the guard only trips on a genuine wedge.
+  for (int guard = 0; guard < 100000; guard++) {
+    if (fenv_->crashed()) return true;  // caller's safety net recovers
+    DigestProtectionStatus s = p->status();
+    if (!s.fatal.ok()) {
+      Fail(i, "pipeline latched fatal during drain: " + s.fatal.ToString());
+      return false;
+    }
+    if (s.outbox_pending == 0) return true;
+    (void)p->Pump();  // retry round; convergence enforced by the guard
+  }
+  Fail(i, "pipeline failed to drain " +
+              std::to_string(p->status().outbox_pending) + " pending digests");
+  return false;
+}
+
+bool SimDriver::AuditDigestStore(size_t i) {
+  DigestUploadPipeline* p = db_->digest_pipeline();
+  if (p == nullptr || diverged_) return !diverged_;
+  // Read the remote store directly — the audit is an out-of-band oracle,
+  // not a client subject to the injected outage.
+  auto all = remote_store_->ListAll();
+  if (!all.ok()) {
+    Fail(i, "digest store audit: ListAll: " + all.status().message());
+    return false;
+  }
+  std::vector<std::string> pend = p->outbox()->Pending();
+  std::set<std::string> pending(pend.begin(), pend.end());
+
+  // Stored digests must be an order-preserving subset of the submission
+  // log, and any accepted submission skipped over must still be pending
+  // replay (crash windows legally re-queue already-uploaded digests; the
+  // idempotent store absorbs the re-upload without a duplicate).
+  size_t pos = 0;
+  for (const DatabaseDigest& d : *all) {
+    std::string json = d.ToJson();
+    size_t k = pos;
+    while (k < submission_log_.size() && submission_log_[k].json != json) k++;
+    if (k == submission_log_.size()) {
+      Fail(i, "digest store holds an unsubmitted or out-of-order digest "
+              "(block " +
+                  std::to_string(d.block_id) + ")");
+      return false;
+    }
+    for (size_t s = pos; s < k; s++) {
+      if (submission_log_[s].accepted && !pending.count(submission_log_[s].json)) {
+        Fail(i, "accepted digest (block " +
+                    std::to_string(submission_log_[s].block_id) +
+                    ") missing from the store and not pending");
+        return false;
+      }
+    }
+    pos = k + 1;
+  }
+  for (size_t s = pos; s < submission_log_.size(); s++) {
+    if (submission_log_[s].accepted && !pending.count(submission_log_[s].json)) {
+      Fail(i, "accepted digest (block " +
+                  std::to_string(submission_log_[s].block_id) +
+                  ") neither stored nor pending");
+      return false;
+    }
+  }
+  return true;
+}
+
+void SimDriver::DoStoreOutage(size_t i, const SimOp& op) {
+  bool begin = op.kind == SimOpKind::kStoreOutageBegin;
+  if (faulty_store_ == nullptr || db_->digest_pipeline() == nullptr) {
+    Note(std::to_string(i) + " store_outage skip");
+    return;
+  }
+  // The generator balances begin/end, but minimized subsequences need not;
+  // resolve redundant transitions as deterministic no-ops.
+  if (begin == store_outage_) {
+    Note(std::to_string(i) + " store_outage skip");
+    return;
+  }
+  store_outage_ = begin;
+  faulty_store_->SetOutage(begin);
+  if (begin) {
+    result_.store_outages++;
+    Note(std::to_string(i) + " store_outage begin");
+    return;
+  }
+  // Outage lifted: queued digests must catch up in order and the store
+  // must agree with the submission log.
+  if (!DrainPipeline(i)) return;
+  if (fenv_->crashed()) return;  // safety net recovers + audits
+  if (!AuditDigestStore(i)) return;
+  Note(std::to_string(i) + " store_outage end pending=" +
+       std::to_string(db_->digest_pipeline()->status().outbox_pending));
+}
+
 // ---- Deep audit ----
 
 void SimDriver::FullAudit(size_t i) {
@@ -1484,6 +1649,10 @@ void SimDriver::ExecuteOp(size_t i, const SimOp& op) {
     case SimOpKind::kTruncate:
       DoTruncate(i, op);
       break;
+    case SimOpKind::kStoreOutageBegin:
+    case SimOpKind::kStoreOutageEnd:
+      DoStoreOutage(i, op);
+      break;
   }
 }
 
@@ -1516,6 +1685,7 @@ SimResult SimDriver::Run(const std::vector<SimOp>& trace) {
     fenv_->CrashAtSync(-1);
     CommitOpenTxn(end);
   }
+  bool final_submitted = false;
   if (!diverged_) {
     auto d = db_->GenerateDigest();
     if (!d.ok()) {
@@ -1536,7 +1706,23 @@ SimResult SimDriver::Run(const std::vector<SimOp>& trace) {
         result_.final_digest_hex =
             std::to_string(d->block_id) + ":" + HashHex(d->block_hash);
         ProbeTxnCounter(end);
+        final_submitted = SubmitDigestToPipeline(end, *d);
       }
+    }
+  }
+  // Settle digest protection: lift any outage the trace left open, drain
+  // the outbox, re-audit, and — when the final digest made it into the
+  // outbox — assert staleness fell back to zero.
+  if (!diverged_ && db_->digest_pipeline() != nullptr) {
+    if (store_outage_) {
+      store_outage_ = false;
+      faulty_store_->SetOutage(false);
+      Note("epilogue store_outage end");
+    }
+    if (DrainPipeline(end) && AuditDigestStore(end) && final_submitted) {
+      DigestProtectionStatus s = db_->digest_pipeline()->status();
+      if (!s.fully_protected())
+        Fail(end, "digest protection did not catch up: " + s.ToString());
     }
   }
   if (!diverged_) DoVerify(end);

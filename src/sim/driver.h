@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "ledger/digest_store.h"
+#include "ledger/faulty_digest_store.h"
 #include "ledger/ledger_database.h"
 #include "sim/generator.h"
 #include "sim/model.h"
@@ -69,6 +71,7 @@ struct SimResult {
   uint64_t truncations = 0;
   uint64_t verifications = 0;
   uint64_t digests = 0;
+  uint64_t store_outages = 0;
 
   std::string Summary() const;
 };
@@ -108,6 +111,7 @@ class SimDriver {
   void DoCrash(size_t i);
   void DoTamper(size_t i, const SimOp& op);
   void DoTruncate(size_t i, const SimOp& op);
+  void DoStoreOutage(size_t i, const SimOp& op);
 
   // Lockstep plumbing.
   bool CommitOpenTxn(size_t i);
@@ -134,6 +138,22 @@ class SimDriver {
                    const std::map<std::string, std::vector<Row>>& pre);
   void FullAudit(size_t i);
 
+  // Digest-protection plumbing (DESIGN.md §9). Every digest the driver
+  // takes also flows through the database's DigestUploadPipeline toward a
+  // FaultyDigestStore, so outages, lost acks, duplicates and crashes all
+  // hit the retry/outbox machinery under the deterministic clock.
+  /// Submits `d` through the pipeline and pumps once. Returns true when
+  /// the submission was durably accepted into the outbox.
+  bool SubmitDigestToPipeline(size_t i, const DatabaseDigest& d);
+  /// Pumps until the outbox drains (no outage may be active). Returns
+  /// false on divergence; a crash mid-drain returns true and leaves the
+  /// recovery to the caller's safety net.
+  bool DrainPipeline(size_t i);
+  /// Cross-checks the remote store against the driver's submission log:
+  /// stored digests must be an order-preserving subset of submissions, and
+  /// every accepted submission must be stored or still pending replay.
+  bool AuditDigestStore(size_t i);
+
   // Small helpers.
   DatabaseLedger* ledger() { return db_->database_ledger(); }
   Row BuildUserRow(const ReferenceModel::Table& t, const SimOp& op) const;
@@ -146,6 +166,10 @@ class SimDriver {
   SimConfig config_;
   std::unique_ptr<ReferenceModel> model_;
   std::unique_ptr<FaultInjectionEnv> fenv_;
+  // The remote digest service: survives crashes (it is external to the
+  // database host) and must outlive db_, whose pipeline points into it.
+  std::unique_ptr<InMemoryDigestStore> remote_store_;
+  std::unique_ptr<FaultyDigestStore> faulty_store_;
   std::unique_ptr<LedgerDatabase> db_;
   Transaction* txn_ = nullptr;
   size_t applied_ = 0;  // append-log entries already ingested by the model
@@ -154,6 +178,16 @@ class SimDriver {
   std::vector<DatabaseDigest> trusted_;
   int64_t clock_ = 1000000;  // driver-owned deterministic clock
   uint64_t reopens_ = 0;
+  /// Every pipeline submission in order. `accepted` = the outbox reported
+  /// durable; false = the outcome was ambiguous (crash mid-append) and the
+  /// digest may or may not resurface from replay.
+  struct DigestSubmission {
+    std::string json;
+    uint64_t block_id = 0;
+    bool accepted = false;
+  };
+  std::vector<DigestSubmission> submission_log_;
+  bool store_outage_ = false;  // driver's belief, mirrored into the store
 
   bool diverged_ = false;
   SimResult result_;

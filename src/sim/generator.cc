@@ -33,6 +33,7 @@ std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts) {
   trace.reserve(opts.ops);
 
   bool txn_open = false;       // generator's belief, not execution feedback
+  bool outage_open = false;    // generator's belief about the digest store
   uint32_t num_tables = opts.base_tables;
   uint32_t created_tables = 0;
   uint32_t added_columns = 0;
@@ -66,6 +67,12 @@ std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts) {
   }
   if (opts.enable_tamper) between.push_back({SimOpKind::kTamper, 2});
   if (opts.enable_truncate) between.push_back({SimOpKind::kTruncate, 1});
+  if (opts.enable_store_outage) {
+    // End is weighted above begin so outage windows skew short — digests
+    // still pile into the outbox, but most traces also exercise recovery.
+    between.push_back({SimOpKind::kStoreOutageBegin, 2});
+    between.push_back({SimOpKind::kStoreOutageEnd, 3});
+  }
 
   while (trace.size() < opts.ops) {
     SimOp op;
@@ -138,6 +145,14 @@ std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts) {
       case SimOpKind::kTamper:
         op.arg = rng.Next();          // mutation-kind selector
         op.key = static_cast<int64_t>(rng.Next() >> 1);  // target selector
+        break;
+      case SimOpKind::kStoreOutageBegin:
+        if (outage_open) continue;  // one outage at a time
+        outage_open = true;
+        break;
+      case SimOpKind::kStoreOutageEnd:
+        if (!outage_open) continue;
+        outage_open = false;
         break;
     }
     trace.push_back(std::move(op));

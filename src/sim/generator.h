@@ -33,6 +33,8 @@ struct GeneratorOptions {
   bool enable_tamper = true;
   bool enable_ddl = true;
   bool enable_truncate = true;
+  /// Digest-store outage windows (kStoreOutageBegin/kStoreOutageEnd).
+  bool enable_store_outage = true;
 };
 
 /// Deterministically expands (seed, options) into a trace.

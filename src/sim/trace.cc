@@ -29,6 +29,8 @@ const char* SimOpKindName(SimOpKind kind) {
     case SimOpKind::kArmCrash: return "ARM_CRASH";
     case SimOpKind::kTamper: return "TAMPER";
     case SimOpKind::kTruncate: return "TRUNCATE";
+    case SimOpKind::kStoreOutageBegin: return "STORE_OUTAGE_BEGIN";
+    case SimOpKind::kStoreOutageEnd: return "STORE_OUTAGE_END";
   }
   return "UNKNOWN";
 }

@@ -42,6 +42,8 @@ enum class SimOpKind : uint8_t {
   kArmCrash,         // arg = sync-countdown until crash fires
   kTamper,           // arg=mutation kind selector, key=target selector
   kTruncate,         // arg selects the cutoff below the newest closed block
+  kStoreOutageBegin, // the remote digest store becomes unreachable
+  kStoreOutageEnd,   // the outage lifts; queued digests catch up
 };
 
 const char* SimOpKindName(SimOpKind kind);

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "ledger/digest_store.h"
+#include "ledger/faulty_digest_store.h"
 #include "test_util.h"
 
 namespace sqlledger {
@@ -58,7 +59,40 @@ TEST(InMemoryDigestStoreTest, UploadListLatest) {
   EXPECT_EQ(latest_any->block_id, 3u);
 }
 
+TEST(InMemoryDigestStoreTest, IdenticalRetryIsIdempotentDivergentIsFork) {
+  InMemoryDigestStore store;
+  DatabaseDigest d = MakeDigest(3, "t0");
+  ASSERT_TRUE(store.Upload(d).ok());
+  // Byte-identical retry (ambiguous first attempt): OK, no second copy.
+  ASSERT_TRUE(store.Upload(d).ok());
+  EXPECT_EQ(store.ListAll()->size(), 1u);
+  // Same block, same hash, later generation time: a legitimate re-digest of
+  // a quiet database — stored normally.
+  DatabaseDigest quiet = d;
+  quiet.generated_at_micros += 50;
+  ASSERT_TRUE(store.Upload(quiet).ok());
+  EXPECT_EQ(store.ListAll()->size(), 2u);
+  // Same block, DIFFERENT hash: a fork, refused.
+  DatabaseDigest forged = d;
+  forged.block_hash.bytes[0] ^= 1;
+  EXPECT_TRUE(store.Upload(forged).IsIntegrityViolation());
+  EXPECT_EQ(store.ListAll()->size(), 2u);
+}
+
 class BlobStoreTest : public TempDirTest {};
+
+TEST_F(BlobStoreTest, IdenticalRetryIsIdempotentDivergentIsFork) {
+  auto store = ImmutableBlobDigestStore::Open(Path("digests"));
+  ASSERT_TRUE(store.ok());
+  DatabaseDigest d = MakeDigest(3, "t0");
+  ASSERT_TRUE((*store)->Upload(d).ok());
+  ASSERT_TRUE((*store)->Upload(d).ok());  // duplicate delivery absorbed
+  EXPECT_EQ((*store)->ListAll()->size(), 1u);
+  DatabaseDigest forged = d;
+  forged.block_hash.bytes[0] ^= 1;
+  EXPECT_TRUE((*store)->Upload(forged).IsIntegrityViolation());
+  EXPECT_EQ((*store)->ListAll()->size(), 1u);
+}
 
 TEST_F(BlobStoreTest, UploadPersistsAndLists) {
   auto store = ImmutableBlobDigestStore::Open(Path("digests"));
@@ -297,6 +331,28 @@ TEST_F(UploadFlowTest, PeriodicUploaderUploadsOnCadence) {
     ASSERT_TRUE(derivable.ok());
     EXPECT_TRUE(*derivable);
   }
+}
+
+TEST_F(UploadFlowTest, PeriodicUploaderRecoversFromTransientStoreError) {
+  // Regression: the uploader used to latch-and-stop on ANY upload error, so
+  // one network blip silently ended digest protection forever. Transient
+  // errors must keep the cadence alive.
+  auto db = OpenTestDb(/*block_size=*/4);
+  ASSERT_TRUE(
+      db->CreateTable("t", SimpleUserSchema(), TableKind::kUpdateable).ok());
+  InMemoryDigestStore store;
+  FaultyDigestStore flaky(&store, /*seed=*/TestSeed());
+  flaky.FailUploads(1);  // the first attempt times out, then the store heals
+
+  ASSERT_TRUE(InsertOne(db.get(), "t", 1, "x").ok());
+  PeriodicDigestUploader uploader(db.get(), &flaky,
+                                  std::chrono::milliseconds(2));
+  for (int spin = 0; spin < 500 && uploader.uploads() < 1; spin++)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(uploader.uploads(), 1u);           // cadence survived the blip
+  EXPECT_TRUE(uploader.last_error().ok());     // cleared by the success
+  EXPECT_GE(flaky.injected_failures(), 1u);    // the blip actually fired
+  EXPECT_GE(store.ListAll()->size(), 1u);
 }
 
 TEST_F(UploadFlowTest, PeriodicUploaderLatchesForkError) {

@@ -1,0 +1,103 @@
+// FaultyDigestStore: the network-fault decorator must inject exactly the
+// scripted/seeded faults — outages, transient errors, lost acks, duplicate
+// deliveries — and be byte-for-byte reproducible per seed (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include "ledger/digest_store.h"
+#include "ledger/faulty_digest_store.h"
+#include "test_util.h"
+
+namespace sqlledger {
+namespace {
+
+DatabaseDigest MakeDigest(uint64_t block_id) {
+  DatabaseDigest d;
+  d.database_id = "testdb";
+  d.database_create_time = "t0";
+  d.block_id = block_id;
+  d.block_hash = Sha256::Digest(Slice("block" + std::to_string(block_id)));
+  d.generated_at_micros = 1000 + static_cast<int64_t>(block_id);
+  d.last_commit_ts_micros = 900 + static_cast<int64_t>(block_id);
+  return d;
+}
+
+TEST(FaultyDigestStoreTest, OutageFailsUploadsAndReads) {
+  InMemoryDigestStore target;
+  FaultyDigestStore store(&target);
+  ASSERT_TRUE(store.Upload(MakeDigest(1)).ok());
+
+  store.SetOutage(true);
+  EXPECT_TRUE(store.outage());
+  EXPECT_TRUE(store.Upload(MakeDigest(2)).code() == StatusCode::kIOError);
+  EXPECT_TRUE(store.ListAll().status().code() == StatusCode::kIOError);
+  EXPECT_TRUE(store.Latest("").status().code() == StatusCode::kIOError);
+  EXPECT_EQ(target.ListAll()->size(), 1u);  // nothing leaked through
+
+  store.SetOutage(false);
+  ASSERT_TRUE(store.Upload(MakeDigest(2)).ok());
+  EXPECT_EQ(store.ListAll()->size(), 2u);
+  EXPECT_EQ(store.injected_failures(), 1u);
+}
+
+TEST(FaultyDigestStoreTest, ScriptedTransientFailuresCountDown) {
+  InMemoryDigestStore target;
+  FaultyDigestStore store(&target);
+  store.FailUploads(2, StatusCode::kBusy);
+  EXPECT_TRUE(store.Upload(MakeDigest(1)).code() == StatusCode::kBusy);
+  EXPECT_TRUE(store.Upload(MakeDigest(1)).code() == StatusCode::kBusy);
+  EXPECT_TRUE(store.Upload(MakeDigest(1)).ok());  // countdown exhausted
+  EXPECT_EQ(store.injected_failures(), 2u);
+  EXPECT_EQ(store.upload_attempts(), 3u);
+  EXPECT_EQ(target.ListAll()->size(), 1u);
+}
+
+TEST(FaultyDigestStoreTest, LostAckStoresButReportsError) {
+  InMemoryDigestStore target;
+  FaultyDigestStore store(&target);
+  store.LoseAcks(1);
+  DatabaseDigest d = MakeDigest(1);
+  // The ambiguous outcome: caller sees IOError, store holds the digest.
+  EXPECT_TRUE(store.Upload(d).code() == StatusCode::kIOError);
+  EXPECT_EQ(store.lost_acks(), 1u);
+  ASSERT_EQ(target.ListAll()->size(), 1u);
+  EXPECT_TRUE((*target.ListAll())[0] == d);
+  // The retry re-sends identical bytes; the idempotent target absorbs it.
+  EXPECT_TRUE(store.Upload(d).ok());
+  EXPECT_EQ(target.ListAll()->size(), 1u);
+}
+
+TEST(FaultyDigestStoreTest, DuplicateDeliveryAbsorbedByIdempotentTarget) {
+  InMemoryDigestStore target;
+  FaultyDigestStore store(&target);
+  store.DeliverDuplicates(1);
+  ASSERT_TRUE(store.Upload(MakeDigest(1)).ok());
+  EXPECT_EQ(store.duplicates_delivered(), 1u);
+  EXPECT_EQ(target.ListAll()->size(), 1u);  // one copy despite two arrivals
+}
+
+TEST(FaultyDigestStoreTest, SeededProbabilisticFaultsReplayExactly) {
+  FaultyDigestStore::Probabilities p;
+  p.transient_error = 0.3;
+  p.ack_lost = 0.2;
+  p.duplicate = 0.2;
+  auto run = [&](uint64_t seed) {
+    InMemoryDigestStore target;
+    FaultyDigestStore store(&target, seed);
+    store.SetProbabilities(p);
+    std::string outcome;
+    for (uint64_t b = 0; b < 64; b++)
+      outcome += store.Upload(MakeDigest(b)).ok() ? 'o' : 'x';
+    return outcome;
+  };
+  uint64_t seed = TestSeed();
+  std::string a = run(seed), b = run(seed);
+  EXPECT_EQ(a, b) << "same seed must inject identical fault sequences "
+                     "(SQLLEDGER_TEST_SEED=" << seed << ")";
+  EXPECT_NE(a.find('x'), std::string::npos) << "no fault ever fired";
+  EXPECT_NE(a.find('o'), std::string::npos) << "every upload failed";
+  EXPECT_NE(a, run(seed + 1)) << "different seeds gave identical sequences";
+}
+
+}  // namespace
+}  // namespace sqlledger

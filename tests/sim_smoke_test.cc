@@ -47,6 +47,31 @@ TEST_F(SimSmokeTest, SameSeedReproducesByteForByte) {
   EXPECT_EQ(first.final_digest_hex, second.final_digest_hex);
 }
 
+TEST_F(SimSmokeTest, StoreOutageWindowsCatchUpAndAgree) {
+  // Outage-heavy mix: the driver asserts after every recovery and outage
+  // end that the remote store's digests are an order-preserving match for
+  // what the pipeline accepted, and the epilogue asserts staleness fell
+  // back to zero when the final digest was queued.
+  size_t outage_runs = 0;
+  for (uint64_t s = 0; s < 3; s++) {
+    SimConfig config = MakeConfig(TestCaseSeed(10 + s), 400);
+    SimResult result = RunSim(config);
+    EXPECT_TRUE(result.ok)
+        << "seed " << config.seed << " (SQLLEDGER_TEST_SEED=" << TestSeed()
+        << ") diverged @" << result.divergent_op << ": " << result.message;
+    if (result.store_outages > 0) outage_runs++;
+  }
+  EXPECT_GT(outage_runs, 0u) << "no run exercised a digest-store outage";
+}
+
+TEST_F(SimSmokeTest, OutagesDisabledStillRuns) {
+  SimConfig config = MakeConfig(TestCaseSeed(20), 300);
+  config.gen.enable_store_outage = false;
+  SimResult result = RunSim(config);
+  EXPECT_TRUE(result.ok) << result.message;
+  EXPECT_EQ(result.store_outages, 0u);
+}
+
 TEST_F(SimSmokeTest, PlantedHashOrderBugIsCaught) {
   SimConfig config = MakeConfig(TestCaseSeed(4), 600);
   config.break_hash_order = true;
