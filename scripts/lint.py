@@ -29,6 +29,11 @@ to the offending line — use sparingly and say why on an adjacent comment):
   void-discard    `(void)` discard of an expression with no trailing comment.
                   Status and Result are [[nodiscard]]; a silenced discard must
                   justify itself (e.g. `// best-effort cleanup`).
+  commit-sync     a direct `Sync()` call inside a `commit_mu_` critical
+                  section in src/. The group-commit pipeline (DESIGN.md §10)
+                  amortises exactly one fsync per commit group via
+                  Wal::AppendBatch; an extra per-call fsync on the commit
+                  path silently undoes the batching and the Figure-7 numbers.
   digest-decorator-coverage
                   (repo-level) every class in src/ deriving from DigestStore —
                   store implementations and fault-injecting decorators alike —
@@ -248,6 +253,52 @@ def check_void_discard(path, lines, findings):
 
 
 # ---------------------------------------------------------------------------
+# Rule: commit-sync
+# ---------------------------------------------------------------------------
+
+COMMIT_LOCK_RE = re.compile(
+    r"MutexLock\s+\w+\s*\(\s*&\s*commit_mu_\s*\)|commit_mu_\s*\.\s*Lock\s*\(")
+COMMIT_UNLOCK_RE = re.compile(r"commit_mu_\s*\.\s*Unlock\s*\(")
+# A bare Sync() token: matches `file_->Sync()`, `wal_->Sync()`, `Sync();`
+# but not `sync_count()` or `SyncDir(...)`.
+SYNC_CALL_RE = re.compile(r"\bSync\s*\(\s*\)")
+
+
+def check_commit_sync(path, lines, findings):
+    """Tracks `MutexLock x(&commit_mu_)` scopes by brace depth (plus manual
+    commit_mu_.Lock()/Unlock() pairs) and flags any Sync() call site within.
+    Brace counting on noise-stripped lines is approximate but sufficient for
+    the repo's clang-format style (no braces smuggled into strings/comments).
+    """
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith("src" + os.sep):
+        return
+    depth = 0
+    lock_depths = []       # brace depth of each live MutexLock on commit_mu_
+    manual_locked = False  # commit_mu_.Lock() without RAII
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if COMMIT_LOCK_RE.search(line):
+            if "MutexLock" in line:
+                lock_depths.append(depth)
+            else:
+                manual_locked = True
+        if COMMIT_UNLOCK_RE.search(line):
+            manual_locked = False
+        if (lock_depths or manual_locked) and SYNC_CALL_RE.search(line):
+            if not allowed(raw, "commit-sync"):
+                findings.append(Finding(
+                    "commit-sync", path, i,
+                    "Sync() inside a commit_mu_ critical section; the group "
+                    "commit pipeline owns the fsync (one per group, via "
+                    "Wal::AppendBatch) — a direct Sync() here re-serialises "
+                    "commits"))
+        depth += line.count("{") - line.count("}")
+        while lock_depths and lock_depths[-1] > depth:
+            lock_depths.pop()
+
+
+# ---------------------------------------------------------------------------
 # Rule: digest-decorator-coverage (repo-level)
 # ---------------------------------------------------------------------------
 
@@ -320,6 +371,7 @@ CHECKS = [
     ("raw-sync", SRC_DIRS, check_raw_sync),
     ("tsa-escape", SRC_DIRS, check_tsa_escape),
     ("void-discard", SRC_DIRS, check_void_discard),
+    ("commit-sync", SRC_DIRS, check_commit_sync),
 ]
 
 # Checks that look at the whole tree at once rather than one file at a time.
@@ -388,6 +440,25 @@ SELF_TEST_CASES = [
     ("void-discard", "src/ledger/x_selftest.cc",
      "(void)st.Update(env->RemoveFile(path));",
      "(void)unused_param;"),
+    ("commit-sync", "src/ledger/x_selftest.cc",
+     "void F() {\n"
+     "  MutexLock lock(&commit_mu_);\n"
+     "  file_->Sync();\n"
+     "}",
+     "void F() {\n"
+     "  {\n"
+     "    MutexLock lock(&commit_mu_);\n"
+     "    wal_->AppendBatch(payloads);\n"
+     "  }\n"
+     "  file_->Sync();\n"
+     "}"),
+    ("commit-sync", "src/ledger/x_selftest.cc",
+     "commit_mu_.Lock();\n"
+     "wal_->Sync();\n"
+     "commit_mu_.Unlock();",
+     "commit_mu_.Lock();\n"
+     "commit_mu_.Unlock();\n"
+     "wal_->Sync();"),
 ]
 
 

@@ -169,8 +169,33 @@ uint64_t DatabaseLedger::total_entries() const {
 }
 
 std::pair<uint64_t, uint64_t> DatabaseLedger::AssignSlot() {
+  return AssignSlots(1)[0];
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> DatabaseLedger::AssignSlots(
+    size_t n) {
   MutexLock lock(&mu_);
-  return {open_block_id_, next_ordinal_++};
+  std::vector<std::pair<uint64_t, uint64_t>> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    slots.emplace_back(assign_block_id_, assign_ordinal_++);
+    if (assign_ordinal_ >= options_.block_size) {
+      assign_block_id_++;
+      assign_ordinal_ = 0;
+    }
+  }
+  return slots;
+}
+
+void DatabaseLedger::ReleaseSlots(size_t n) {
+  MutexLock lock(&mu_);
+  for (size_t i = 0; i < n; i++) {
+    if (assign_ordinal_ == 0) {
+      assign_block_id_--;
+      assign_ordinal_ = options_.block_size;
+    }
+    assign_ordinal_--;
+  }
 }
 
 Status DatabaseLedger::Append(TransactionEntry entry) {
@@ -206,8 +231,16 @@ Status DatabaseLedger::CloseOpenBlockLocked() {
   SL_RETURN_IF_ERROR(blocks_table_->Insert(BlockRecordToRow(block)));
   last_block_hash_ = block.ComputeHash();
   open_block_id_++;
-  next_ordinal_ = 0;
   open_entries_.clear();
+  // A digest-driven close of a partially filled block abandons the rest of
+  // the block's ordinals: pull the assign position forward to the new open
+  // block. A close driven by appends catching up with a batch assignment
+  // leaves the assign position alone — it already points at (or past) the
+  // new block, and rewinding it would double-assign in-flight slots.
+  if (assign_block_id_ < open_block_id_) {
+    assign_block_id_ = open_block_id_;
+    assign_ordinal_ = 0;
+  }
   return Status::OK();
 }
 
@@ -288,14 +321,20 @@ Status DatabaseLedger::RecoverEntry(const TransactionEntry& entry) {
   }
 
   if (entry.block_id == open_block_id_) {
-    if (entry.block_ordinal != next_ordinal_)
+    // During recovery no group is in flight, so the assign position tracks
+    // the append position exactly; advance both in lockstep.
+    if (entry.block_ordinal != assign_ordinal_)
       return Status::Corruption("WAL replay: ordinal gap in open block");
     last_commit_ts_ = entry.commit_ts_micros;
     if (append_log_enabled_) append_log_.push_back(entry);
     open_entries_.push_back(entry);
     queue_.push_back(entry);
     total_entries_++;
-    next_ordinal_++;
+    assign_ordinal_++;
+    if (assign_ordinal_ >= options_.block_size) {
+      assign_block_id_++;
+      assign_ordinal_ = 0;
+    }
     if (open_entries_.size() >= options_.block_size)
       return CloseOpenBlockLocked();
     return Status::OK();
@@ -332,7 +371,6 @@ Status DatabaseLedger::LoadFromTables() {
 
   // Entries already persisted that belong to the open block.
   open_entries_.clear();
-  next_ordinal_ = 0;
   total_entries_ = 0;
   std::vector<TransactionEntry> open;
   for (BTree::Iterator it = transactions_table_->Scan(); it.Valid();
@@ -349,7 +387,8 @@ Status DatabaseLedger::LoadFromTables() {
               return a.block_ordinal < b.block_ordinal;
             });
   open_entries_ = std::move(open);
-  next_ordinal_ = open_entries_.size();
+  assign_block_id_ = open_block_id_;
+  assign_ordinal_ = open_entries_.size();
   queue_.clear();
   return Status::OK();
 }

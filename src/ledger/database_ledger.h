@@ -53,6 +53,20 @@ class DatabaseLedger {
   /// WAL commit record.
   std::pair<uint64_t, uint64_t> AssignSlot();
 
+  /// Assigns `n` contiguous slots for a commit group in one critical
+  /// section. Slots roll over block boundaries (block_size ordinals per
+  /// block), so a single group may span blocks; the subsequent Append calls
+  /// close each block as its last ordinal arrives. Assignment is tracked
+  /// separately from the append position, so slots handed out here stay
+  /// reserved while the leader does WAL I/O.
+  std::vector<std::pair<uint64_t, uint64_t>> AssignSlots(size_t n);
+
+  /// Rolls back the last `n` slots handed out by AssignSlots. Only valid
+  /// when none of those slots has been appended (the group-commit leader
+  /// calls this after a failed batched WAL append, before anything reached
+  /// the ledger) — otherwise recovery would see an ordinal gap.
+  void ReleaseSlots(size_t n);
+
   /// Appends a committed transaction's entry to the open block and the
   /// in-memory durability queue, then closes the block if it is full.
   /// The entry's (block_id, block_ordinal) must come from AssignSlot.
@@ -191,7 +205,13 @@ class DatabaseLedger {
 
   mutable Mutex mu_;
   uint64_t open_block_id_ GUARDED_BY(mu_) = 0;
-  uint64_t next_ordinal_ GUARDED_BY(mu_) = 0;
+  // Next slot to hand out (AssignSlot/AssignSlots). Runs ahead of the
+  // append position while a commit group is in flight: a batch may reserve
+  // slots spanning into blocks that are not open yet. Invariant when no
+  // group is in flight: (assign_block_id_, assign_ordinal_) ==
+  // (open_block_id_, open_entries_.size()).
+  uint64_t assign_block_id_ GUARDED_BY(mu_) = 0;
+  uint64_t assign_ordinal_ GUARDED_BY(mu_) = 0;
   std::vector<TransactionEntry> open_entries_ GUARDED_BY(mu_);
   // Hash of the newest closed block (zero if none).
   Hash256 last_block_hash_ GUARDED_BY(mu_);

@@ -93,11 +93,13 @@ Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
     auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
+    db->wal_enabled_ = true;
   } else {
     SL_RETURN_IF_ERROR(db->InitFresh());
     auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
+    db->wal_enabled_ = true;
     // First checkpoint, so recovery never sees a WAL without a catalog.
     SL_RETURN_IF_ERROR(db->Checkpoint());
   }
@@ -638,40 +640,30 @@ Status LedgerDatabase::Commit(Transaction* txn) {
     return Status::InvalidArgument("transaction not active");
 
   if (!txn->ops().empty()) {
-    int64_t commit_ts = options_.clock();
-    MutexLock commit_lock(&commit_mu_);
-
-    uint64_t block_id = 0, ordinal = 0;
-    if (ledger_ != nullptr) {
-      auto slot = ledger_->AssignSlot();
-      block_id = slot.first;
-      ordinal = slot.second;
-    }
-
-    if (wal_ != nullptr) {
+    // All per-transaction CPU work runs before joining the commit group,
+    // outside every lock: the SHA-heavy Merkle root computation and the
+    // WAL record encoding (including the ops copy). Concurrent committers
+    // do this in parallel; the group leader's critical section is left
+    // with ordering + one batched append.
+    txn->FinalizeForCommit();
+    CommitRequest req;
+    req.txn = txn;
+    req.commit_ts_micros = options_.clock();
+    if (wal_enabled_) {
       WalCommitRecord record;
       record.txn_id = txn->id();
-      record.commit_ts_micros = commit_ts;
+      record.commit_ts_micros = req.commit_ts_micros;
       record.user_name = txn->user_name();
-      record.block_id = block_id;
-      record.block_ordinal = ordinal;
+      // Placeholder slot; the leader patches the real one in at
+      // req.slot_offset once AssignSlots has run.
+      record.block_id = 0;
+      record.block_ordinal = 0;
       record.table_roots = txn->TableRoots();
       record.ops = txn->ops();
-      std::vector<uint8_t> payload{kWalKindCommit};
-      record.EncodeTo(&payload);
-      SL_RETURN_IF_ERROR(wal_->AppendRecord(Slice(payload)));
+      req.payload.push_back(kWalKindCommit);
+      req.slot_offset = record.EncodeTo(&req.payload);
     }
-
-    if (ledger_ != nullptr) {
-      TransactionEntry entry;
-      entry.txn_id = txn->id();
-      entry.block_id = block_id;
-      entry.block_ordinal = ordinal;
-      entry.commit_ts_micros = commit_ts;
-      entry.user_name = txn->user_name();
-      entry.table_roots = txn->TableRoots();
-      SL_RETURN_IF_ERROR(ledger_->Append(std::move(entry)));
-    }
+    SL_RETURN_IF_ERROR(CommitThroughGroup(&req));
   }
 
   txn->MarkCommitted();
@@ -685,11 +677,115 @@ Status LedgerDatabase::Commit(Transaction* txn) {
   return Status::OK();
 }
 
+Status LedgerDatabase::CommitThroughGroup(CommitRequest* req) {
+  group_mu_.Lock();
+  commit_queue_.push_back(req);
+  // Wake a lingering leader so it can re-check its group size.
+  group_cv_.SignalAll();
+
+  // Follower until proven leader: the oldest undrained request whose
+  // thread finds no active leader takes leadership of the queue. Everyone
+  // else sleeps until a leader marks their request done. front() is only
+  // evaluated when no leader is active, in which case this request is
+  // still queued (a leader drains requests only after setting
+  // commit_leader_active_, and marks them done before clearing it).
+  while (!req->done &&
+         (commit_leader_active_ || commit_queue_.front() != req))
+    group_cv_.Wait(&group_mu_);
+  if (req->done) {
+    Status result = req->result;
+    group_mu_.Unlock();
+    return result;
+  }
+
+  // Leader. Optionally linger so a group can form, then seal it.
+  commit_leader_active_ = true;
+  size_t max_group = std::max<size_t>(1, options_.commit.max_group_size);
+  if (options_.commit.max_group_wait_micros > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(
+                        options_.commit.max_group_wait_micros);
+    while (commit_queue_.size() < max_group &&
+           group_cv_.WaitUntil(&group_mu_, deadline)) {
+    }
+  }
+  std::vector<CommitRequest*> group;
+  group.reserve(std::min(commit_queue_.size(), max_group));
+  while (!commit_queue_.empty() && group.size() < max_group) {
+    group.push_back(commit_queue_.front());
+    commit_queue_.pop_front();
+  }
+  group_mu_.Unlock();
+
+  // I/O outside group_mu_: later committers keep enqueuing (and will form
+  // the next group) while this group's fsync is in flight.
+  ProcessGroup(group);
+
+  group_mu_.Lock();
+  commit_groups_++;
+  group_commit_txns_ += group.size();
+  largest_commit_group_ =
+      std::max<uint64_t>(largest_commit_group_, group.size());
+  for (CommitRequest* r : group) r->done = true;
+  commit_leader_active_ = false;
+  group_cv_.SignalAll();
+  Status result = req->result;
+  group_mu_.Unlock();
+  return result;
+}
+
+void LedgerDatabase::ProcessGroup(const std::vector<CommitRequest*>& group) {
+  MutexLock commit_lock(&commit_mu_);
+
+  std::vector<std::pair<uint64_t, uint64_t>> slots;
+  if (ledger_ != nullptr) slots = ledger_->AssignSlots(group.size());
+
+  if (wal_ != nullptr) {
+    std::vector<Slice> payloads;
+    payloads.reserve(group.size());
+    for (size_t i = 0; i < group.size(); i++) {
+      CommitRequest* r = group[i];
+      if (ledger_ != nullptr)
+        WalCommitRecord::PatchSlot(&r->payload, r->slot_offset,
+                                   slots[i].first, slots[i].second);
+      payloads.emplace_back(r->payload);
+    }
+    // WAL first: one buffered append, one fsync for the whole group. On
+    // failure nothing reached the ledger — roll the slot reservation back
+    // so a post-checkpoint WAL (sticky error cleared) resumes with dense
+    // ordinals — and fail every member: the WAL is poisoned, so none of
+    // them is durable.
+    Status st = wal_->AppendBatch(payloads);
+    if (!st.ok()) {
+      if (ledger_ != nullptr) ledger_->ReleaseSlots(group.size());
+      for (CommitRequest* r : group) r->result = st;
+      return;
+    }
+  }
+
+  if (ledger_ != nullptr) {
+    for (size_t i = 0; i < group.size(); i++) {
+      CommitRequest* r = group[i];
+      TransactionEntry entry;
+      entry.txn_id = r->txn->id();
+      entry.block_id = slots[i].first;
+      entry.block_ordinal = slots[i].second;
+      entry.commit_ts_micros = r->commit_ts_micros;
+      entry.user_name = r->txn->user_name();
+      entry.table_roots = r->txn->TableRoots();
+      r->result = ledger_->Append(std::move(entry));
+    }
+  } else {
+    for (CommitRequest* r : group) r->result = Status::OK();
+  }
+}
+
 void LedgerDatabase::Abort(Transaction* txn) {
   if (txn == nullptr) return;
   txn->Abort();
   locks_.ReleaseAll(txn->id());
   MutexLock lock(&txn_mu_);
+  aborted_txns_++;
   active_txns_.erase(txn->id());
   txn_cv_.SignalAll();
 }
@@ -942,6 +1038,11 @@ Result<std::vector<TableOperationRow>> LedgerDatabase::GetTableOperationsView() 
 
 std::string DatabaseStats::ToString() const {
   return "txns=" + std::to_string(committed_transactions) +
+         " aborts=" + std::to_string(aborted_transactions) +
+         " commit_groups=" + std::to_string(commit_groups) + " (" +
+         std::to_string(group_commit_txns) + " txns, largest " +
+         std::to_string(largest_commit_group) + ", " +
+         std::to_string(wal_syncs) + " wal syncs)" +
          " blocks=" + std::to_string(closed_blocks) +
          " open_block_entries=" + std::to_string(open_block_entries) +
          " queue=" + std::to_string(ledger_queue_depth) +
@@ -962,6 +1063,17 @@ DatabaseStats LedgerDatabase::GetStats() {
   {
     MutexLock lock(&txn_mu_);
     stats.committed_transactions = committed_txns_;
+    stats.aborted_transactions = aborted_txns_;
+  }
+  {
+    MutexLock lock(&group_mu_);
+    stats.commit_groups = commit_groups_;
+    stats.group_commit_txns = group_commit_txns_;
+    stats.largest_commit_group = largest_commit_group_;
+  }
+  {
+    MutexLock lock(&commit_mu_);
+    if (wal_ != nullptr) stats.wal_syncs = wal_->sync_count();
   }
   if (ledger_ != nullptr) {
     stats.closed_blocks = ledger_->closed_block_count();

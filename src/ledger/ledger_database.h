@@ -18,6 +18,7 @@
 #define SQLLEDGER_LEDGER_LEDGER_DATABASE_H_
 
 #include <chrono>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -38,6 +39,24 @@
 
 namespace sqlledger {
 
+/// Group-commit tuning (DESIGN.md §10). Commits from concurrent sessions
+/// are batched: one leader drains the queue of encoded commit records,
+/// appends them to the WAL as a single write with a single fsync, and
+/// wakes the followers. These knobs bound the batch.
+struct CommitOptions {
+  /// Maximum transactions the leader drains into one group (one WAL batch
+  /// + one fsync).
+  size_t max_group_size = 64;
+  /// How long a newly elected leader lingers for company before sealing
+  /// the group. 0 = never wait: the leader takes whatever has already
+  /// accumulated (groups still form under contention, because committers
+  /// queue up while the previous leader's fsync is in flight). Nonzero
+  /// trades commit latency for larger groups. Must stay 0 under the
+  /// deterministic simulator: a timed wait would make group boundaries
+  /// depend on wall-clock scheduling.
+  uint64_t max_group_wait_micros = 0;
+};
+
 struct LedgerDatabaseOptions {
   /// Directory for the WAL and checkpoints; empty = ephemeral (no
   /// durability, used by short-lived tests and benchmarks).
@@ -50,8 +69,10 @@ struct LedgerDatabaseOptions {
   bool enable_ledger = true;
   /// Transactions per Database Ledger block (paper default: 100K).
   uint64_t block_size = 100000;
-  /// fsync the WAL on every commit.
+  /// fsync the WAL on every commit group.
   bool sync_wal = false;
+  /// Group-commit batching knobs.
+  CommitOptions commit;
   /// Lock wait budget before a transaction is aborted (deadlock handling).
   std::chrono::milliseconds lock_timeout{1000};
   /// Injectable clock, microseconds since epoch. Defaults to system clock.
@@ -91,6 +112,15 @@ struct TableOperationRow {
 /// Point-in-time operational statistics (monitoring surface).
 struct DatabaseStats {
   uint64_t committed_transactions = 0;
+  uint64_t aborted_transactions = 0;
+  // Group-commit counters (DESIGN.md §10): groups formed, transactions
+  // that committed through a group, the largest group seen, and the
+  // fsyncs actually issued against the WAL. syncs saved by batching =
+  // group_commit_txns - commit_groups.
+  uint64_t commit_groups = 0;
+  uint64_t group_commit_txns = 0;
+  uint64_t largest_commit_group = 0;
+  uint64_t wal_syncs = 0;
   uint64_t closed_blocks = 0;
   uint64_t open_block_entries = 0;
   uint64_t ledger_queue_depth = 0;
@@ -260,6 +290,28 @@ class LedgerDatabase {
  private:
   explicit LedgerDatabase(LedgerDatabaseOptions options);
 
+  /// One committer's seat in the group-commit queue (DESIGN.md §10). The
+  /// WAL payload is fully encoded (with a placeholder slot) before the
+  /// request is enqueued; the leader patches the slot in once assigned.
+  struct CommitRequest {
+    Transaction* txn = nullptr;
+    int64_t commit_ts_micros = 0;
+    std::vector<uint8_t> payload;  // kind byte + encoded WalCommitRecord
+    size_t slot_offset = 0;        // offset of the patchable slot pair
+    bool done = false;
+    Status result;
+  };
+
+  /// Enqueues `req` and blocks until a leader (possibly this thread) has
+  /// committed or failed it. Returns the request's individual Status.
+  Status CommitThroughGroup(CommitRequest* req);
+  /// Leader body: assigns contiguous slots, patches + batch-appends the
+  /// WAL records (one fsync), applies the ledger entries, and fills each
+  /// member's result. Runs under commit_mu_ only — group_mu_ is released
+  /// so new committers keep enqueuing while the fsync is in flight.
+  void ProcessGroup(const std::vector<CommitRequest*>& group)
+      EXCLUDES(group_mu_);
+
   Status InitFresh();
   Status Recover();
   Status ReplayWalRecord(Slice payload);
@@ -296,8 +348,12 @@ class LedgerDatabase {
   std::string wal_path_;
   std::string checkpoint_path_;
 
-  // Lock hierarchy (see DESIGN.md §8): commit_mu_ -> catalog_mu_ -> txn_mu_.
-  // Never acquire a lock to the left while holding one to the right.
+  // Lock hierarchy (see DESIGN.md §8):
+  //   group_mu_ -> commit_mu_ -> catalog_mu_ -> txn_mu_.
+  // Never acquire a lock to the left while holding one to the right. (The
+  // group-commit leader in fact releases group_mu_ before taking
+  // commit_mu_, so the two are never held together; the ordering exists so
+  // the rule stays checkable.)
 
   mutable SharedMutex catalog_mu_;
   std::map<uint32_t, std::unique_ptr<CatalogEntry>> catalog_
@@ -315,7 +371,21 @@ class LedgerDatabase {
   // append/reset against the paired ledger slot assignment, so digests,
   // commits and WAL resets see one consistent order.
   std::unique_ptr<Wal> wal_ PT_GUARDED_BY(commit_mu_);
+  // Whether wal_ was created at Open. Set once before any concurrency,
+  // read without commit_mu_ by committers deciding whether to encode.
+  bool wal_enabled_ = false;
   Mutex commit_mu_;
+
+  // Group-commit queue (leader–follower; DESIGN.md §10). group_mu_ only
+  // protects the queue, leader flag and group counters — it is never held
+  // across I/O.
+  Mutex group_mu_;
+  CondVar group_cv_;
+  std::deque<CommitRequest*> commit_queue_ GUARDED_BY(group_mu_);
+  bool commit_leader_active_ GUARDED_BY(group_mu_) = false;
+  uint64_t commit_groups_ GUARDED_BY(group_mu_) = 0;
+  uint64_t group_commit_txns_ GUARDED_BY(group_mu_) = 0;
+  uint64_t largest_commit_group_ GUARDED_BY(group_mu_) = 0;
 
   LockManager locks_;
   HmacSigner signer_;
@@ -333,6 +403,7 @@ class LedgerDatabase {
   uint64_t next_txn_id_ GUARDED_BY(txn_mu_) = 1;
   bool quiescing_ GUARDED_BY(txn_mu_) = false;
   uint64_t committed_txns_ GUARDED_BY(txn_mu_) = 0;
+  uint64_t aborted_txns_ GUARDED_BY(txn_mu_) = 0;
 };
 
 }  // namespace sqlledger

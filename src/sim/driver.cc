@@ -145,6 +145,11 @@ Status SimDriver::OpenDb() {
   opts.sync_wal = true;
   opts.env = fenv_.get();
   opts.clock = [this] { return ++clock_; };
+  // Determinism contract (DESIGN.md §10): no timed group formation. The
+  // driver is single-threaded, so with a zero linger every commit group is
+  // a singleton and traces stay byte-identical across reruns; FullAudit
+  // checks the invariant.
+  opts.commit.max_group_wait_micros = 0;
   auto db = LedgerDatabase::Open(opts);
   if (!db.ok()) return db.status();
   db_ = std::move(*db);
@@ -1565,6 +1570,20 @@ void SimDriver::FullAudit(size_t i) {
                 std::to_string(model_->open_block_id()) + "+" +
                 std::to_string(model_->open_entries().size()) + " tip " +
                 HashHex(model_->last_block_hash()));
+    return;
+  }
+  // Group-commit determinism: the driver commits one transaction at a time
+  // with a zero linger, so every group must be a singleton. A larger group
+  // here would mean group boundaries depend on scheduling — the exact
+  // nondeterminism the simulator exists to rule out.
+  DatabaseStats stats = db_->GetStats();
+  if (stats.commit_groups != stats.group_commit_txns ||
+      stats.largest_commit_group > 1) {
+    Fail(i, "audit group-commit mismatch: " +
+                std::to_string(stats.commit_groups) + " groups for " +
+                std::to_string(stats.group_commit_txns) +
+                " grouped txns (largest " +
+                std::to_string(stats.largest_commit_group) + ")");
   }
 }
 

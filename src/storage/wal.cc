@@ -14,12 +14,15 @@ std::string ParentDir(const std::string& path) {
 }
 }  // namespace
 
-void WalCommitRecord::EncodeTo(std::vector<uint8_t>* dst) const {
+size_t WalCommitRecord::EncodeTo(std::vector<uint8_t>* dst) const {
   PutVarint64(dst, txn_id);
   PutFixed64(dst, static_cast<uint64_t>(commit_ts_micros));
   PutLengthPrefixed(dst, Slice(user_name));
-  PutVarint64(dst, block_id);
-  PutVarint64(dst, block_ordinal);
+  // Fixed width so the group-commit leader can patch the slot in after
+  // encoding (the slot is only known once the leader assigns it).
+  size_t slot_offset = dst->size();
+  PutFixed64(dst, block_id);
+  PutFixed64(dst, block_ordinal);
   PutVarint32(dst, static_cast<uint32_t>(table_roots.size()));
   for (const auto& [table_id, root] : table_roots) {
     PutVarint32(dst, table_id);
@@ -32,6 +35,16 @@ void WalCommitRecord::EncodeTo(std::vector<uint8_t>* dst) const {
     EncodeRow(op.key, dst);
     EncodeRow(op.new_row, dst);
   }
+  return slot_offset;
+}
+
+void WalCommitRecord::PatchSlot(std::vector<uint8_t>* buf, size_t slot_offset,
+                                uint64_t block_id, uint64_t block_ordinal) {
+  std::vector<uint8_t> slot;
+  slot.reserve(16);
+  PutFixed64(&slot, block_id);
+  PutFixed64(&slot, block_ordinal);
+  std::memcpy(buf->data() + slot_offset, slot.data(), slot.size());
 }
 
 Result<WalCommitRecord> WalCommitRecord::Decode(Slice payload) {
@@ -50,11 +63,11 @@ Result<WalCommitRecord> WalCommitRecord::Decode(Slice payload) {
   if (!user.ok()) return user.status();
   rec.user_name = user->ToString();
 
-  auto block_id = dec.GetVarint64();
+  auto block_id = dec.GetFixed64();
   if (!block_id.ok()) return block_id.status();
   rec.block_id = *block_id;
 
-  auto ordinal = dec.GetVarint64();
+  auto ordinal = dec.GetFixed64();
   if (!ordinal.ok()) return ordinal.status();
   rec.block_ordinal = *ordinal;
 
@@ -127,20 +140,33 @@ Status Wal::Poison(Status error) {
 }
 
 Status Wal::AppendRecord(Slice payload) {
+  return AppendBatch({payload});
+}
+
+Status Wal::AppendBatch(const std::vector<Slice>& payloads) {
+  if (payloads.empty()) return Status::OK();
   if (!sticky_error_.ok()) return sticky_error_;
-  // Frame header and payload go out as one write so a torn append tears
-  // one record, not a header/payload split the replayer would misparse.
-  std::vector<uint8_t> frame;
-  frame.reserve(8 + payload.size());
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&frame, Crc32c(payload));
-  frame.insert(frame.end(), payload.data(), payload.data() + payload.size());
-  Status st = file_->Append(Slice(frame));
+  // All frames go out as one write so a torn append tears a suffix of
+  // whole frames (plus at most one partial frame the replayer truncates),
+  // never a header/payload split it would misparse. One trailing fsync
+  // makes the whole group durable — this is where group commit amortizes
+  // the sync cost across members.
+  size_t total = 0;
+  for (const Slice& p : payloads) total += 8 + p.size();
+  std::vector<uint8_t> frames;
+  frames.reserve(total);
+  for (const Slice& p : payloads) {
+    PutFixed32(&frames, static_cast<uint32_t>(p.size()));
+    PutFixed32(&frames, Crc32c(p));
+    frames.insert(frames.end(), p.data(), p.data() + p.size());
+  }
+  Status st = file_->Append(Slice(frames));
   if (!st.ok()) return Poison(st);
   st = file_->Flush();
   if (!st.ok()) return Poison(st);
-  bytes_written_ += frame.size();
+  bytes_written_ += frames.size();
   if (options_.sync) {
+    syncs_issued_++;
     st = file_->Sync();
     if (!st.ok()) return Poison(st);
   }
@@ -186,6 +212,7 @@ Status Wal::Reset() {
 Status Wal::Sync() {
   if (!sticky_error_.ok()) return sticky_error_;
   SL_RETURN_IF_ERROR(file_->Flush());
+  syncs_issued_++;
   Status st = file_->Sync();
   if (!st.ok()) return Poison(st);
   return Status::OK();

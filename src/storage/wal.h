@@ -60,7 +60,14 @@ struct WalCommitRecord {
   std::vector<std::pair<uint32_t, Hash256>> table_roots;
   std::vector<WalOp> ops;
 
-  void EncodeTo(std::vector<uint8_t>* dst) const;
+  /// Appends the encoded record to `dst` and returns the offset (within
+  /// `dst`) of the fixed-width (block id, block ordinal) pair. The group
+  /// commit pipeline encodes records before the ledger slot is known and
+  /// the leader patches the slot in with PatchSlot.
+  size_t EncodeTo(std::vector<uint8_t>* dst) const;
+  /// Overwrites the slot pair previously encoded at `slot_offset`.
+  static void PatchSlot(std::vector<uint8_t>* buf, size_t slot_offset,
+                        uint64_t block_id, uint64_t block_ordinal);
   static Result<WalCommitRecord> Decode(Slice payload);
 };
 
@@ -89,6 +96,13 @@ class Wal {
   Status AppendRecord(Slice payload);
   Status AppendCommit(const WalCommitRecord& record);
 
+  /// Appends many framed records as ONE buffered write with ONE trailing
+  /// fsync (when options.sync) — the group commit fast path. All-or-nothing
+  /// durability for the group: a failed write or sync poisons the WAL and
+  /// the error is returned for every record in the batch (none of them may
+  /// be treated as committed). An empty batch is a no-op.
+  Status AppendBatch(const std::vector<Slice>& payloads);
+
   /// Rotates the log after a successful checkpoint: the current file moves
   /// to `path + ".prev"` (paired with the just-superseded checkpoint, so
   /// recovery can fall back one checkpoint generation) and a fresh empty
@@ -98,6 +112,10 @@ class Wal {
 
   Status Sync();
   uint64_t bytes_written() const { return bytes_written_; }
+  /// Number of fsyncs actually issued against the log file (per-append
+  /// syncs, batched group syncs and explicit Sync() calls). The commit
+  /// bench derives fsyncs/txn from this.
+  uint64_t sync_count() const { return syncs_issued_; }
   const std::string& path() const { return path_; }
   /// Non-OK once a write/sync has failed; all appends return this.
   const Status& sticky_error() const { return sticky_error_; }
@@ -120,6 +138,7 @@ class Wal {
   WalOptions options_;
   Env* env_;
   uint64_t bytes_written_ = 0;
+  uint64_t syncs_issued_ = 0;
   Status sticky_error_;
 };
 

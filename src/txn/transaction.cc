@@ -4,6 +4,7 @@ namespace sqlledger {
 
 void Transaction::RecordInsert(TableStore* table, const KeyTuple& key,
                                const Row& row) {
+  roots_finalized_ = false;
   WalOp op;
   op.type = WalOpType::kInsert;
   op.table_id = table->table_id();
@@ -20,6 +21,7 @@ void Transaction::RecordInsert(TableStore* table, const KeyTuple& key,
 
 void Transaction::RecordUpdate(TableStore* table, const KeyTuple& key,
                                const Row& old_row, const Row& new_row) {
+  roots_finalized_ = false;
   WalOp op;
   op.type = WalOpType::kUpdate;
   op.table_id = table->table_id();
@@ -37,6 +39,7 @@ void Transaction::RecordUpdate(TableStore* table, const KeyTuple& key,
 
 void Transaction::RecordDelete(TableStore* table, const KeyTuple& key,
                                const Row& old_row) {
+  roots_finalized_ = false;
   WalOp op;
   op.type = WalOpType::kDelete;
   op.table_id = table->table_id();
@@ -56,6 +59,7 @@ MerkleBuilder* Transaction::MerkleForTable(uint32_t table_id) {
 }
 
 std::vector<std::pair<uint32_t, Hash256>> Transaction::TableRoots() const {
+  if (roots_finalized_) return finalized_roots_;
   std::vector<std::pair<uint32_t, Hash256>> roots;
   roots.reserve(merkle_.size());
   for (const auto& [table_id, builder] : merkle_) {
@@ -63,6 +67,12 @@ std::vector<std::pair<uint32_t, Hash256>> Transaction::TableRoots() const {
     roots.emplace_back(table_id, builder.Root());
   }
   return roots;
+}
+
+void Transaction::FinalizeForCommit() {
+  if (roots_finalized_) return;
+  finalized_roots_ = TableRoots();
+  roots_finalized_ = true;
 }
 
 Status Transaction::CreateSavepoint(const std::string& name) {
@@ -92,6 +102,7 @@ Status Transaction::RollbackToSavepoint(const std::string& name) {
 
   UndoRange(sp.undo_size);
   ops_.resize(sp.ops_size);
+  roots_finalized_ = false;
   next_sequence_ = sp.next_sequence;
 
   // Restore Merkle builders: tables captured in the savepoint get their
@@ -135,6 +146,7 @@ void Transaction::Abort() {
   UndoRange(0);
   ops_.clear();
   merkle_.clear();
+  roots_finalized_ = false;
   savepoints_.clear();
   state_ = State::kAborted;
 }

@@ -54,7 +54,15 @@ class Transaction {
   MerkleBuilder* MerkleForTable(uint32_t table_id);
   /// (table id, root) pairs for all ledger tables touched, id-ordered —
   /// the transaction entry payload recorded in the Database Ledger.
+  /// Returns the cached roots after FinalizeForCommit.
   std::vector<std::pair<uint32_t, Hash256>> TableRoots() const;
+
+  /// Computes and caches the per-table Merkle roots. The commit pipeline
+  /// calls this before the transaction joins a commit group, so the root
+  /// computation (the SHA-heavy part of commit) runs outside every lock and
+  /// concurrent committers finalize in parallel. Any later DML or partial
+  /// rollback invalidates the cache.
+  void FinalizeForCommit();
 
   const std::vector<WalOp>& ops() const { return ops_; }
   bool HasLedgerUpdates() const { return !merkle_.empty(); }
@@ -99,6 +107,9 @@ class Transaction {
   std::vector<UndoEntry> undo_;
   std::map<uint32_t, MerkleBuilder> merkle_;
   std::vector<SavepointRecord> savepoints_;
+  // FinalizeForCommit cache; invalidated by DML and partial rollback.
+  bool roots_finalized_ = false;
+  std::vector<std::pair<uint32_t, Hash256>> finalized_roots_;
 };
 
 }  // namespace sqlledger
