@@ -6,9 +6,15 @@
 // "executed hourly or daily, for cases where the integrity of the database
 // needs to be continuously monitored").
 //
-//   ./verify_tool <data_dir> <digest_store_dir> [database_id] [table ...]
+// --incremental resumes from the watermark a previous clean run persisted
+// in <data_dir>/verify_state.sldb (DESIGN.md §11): identical verdicts,
+// O(delta) cost — the steady state for that cron-driven auditor.
+//
+//   ./verify_tool [--incremental] <data_dir> <digest_store_dir>
+//                 [database_id] [table ...]
 
 #include <cstdio>
+#include <cstring>
 
 #include "ledger/digest_store.h"
 #include "ledger/verifier.h"
@@ -16,15 +22,22 @@
 using namespace sqlledger;
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  bool incremental = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--incremental") == 0) {
+    incremental = true;
+    arg++;
+  }
+  if (argc - arg < 2) {
     std::printf(
-        "usage: %s <data_dir> <digest_store_dir> [database_id] [table ...]\n",
+        "usage: %s [--incremental] <data_dir> <digest_store_dir> "
+        "[database_id] [table ...]\n",
         argv[0]);
     return 64;
   }
-  std::string data_dir = argv[1];
-  std::string store_dir = argv[2];
-  std::string database_id = argc > 3 ? argv[3] : "sqlledger";
+  std::string data_dir = argv[arg++];
+  std::string store_dir = argv[arg++];
+  std::string database_id = arg < argc ? argv[arg++] : "sqlledger";
 
   LedgerDatabaseOptions options;
   options.data_dir = data_dir;
@@ -43,14 +56,15 @@ int main(int argc, char** argv) {
 
   VerificationOptions verify_options;
   verify_options.parallelism = 4;
-  for (int i = 4; i < argc; i++) verify_options.tables.push_back(argv[i]);
+  for (; arg < argc; arg++) verify_options.tables.push_back(argv[arg]);
 
   DatabaseStats stats = (*db)->GetStats();
   std::printf("database: %s (incarnation %s)\n", database_id.c_str(),
               (*db)->create_time().c_str());
   std::printf("state: %s\n\n", stats.ToString().c_str());
 
-  auto report = VerifyLedgerAgainstStore(db->get(), **store, verify_options);
+  auto report = VerifyLedgerAgainstStore(db->get(), **store, verify_options,
+                                         incremental);
   if (!report.ok()) {
     std::printf("verification could not run: %s\n",
                 report.status().ToString().c_str());

@@ -191,6 +191,9 @@ size_t DigestUploadPipeline::PumpLocked(int64_t now) {
       have_last_durable_ = true;
       last_durable_ = *digest;
       last_durable_at_micros_ = now;
+      // A durably stored digest is the natural anchor for incremental
+      // verification to refresh its watermark from (DESIGN.md §11).
+      db_->NoteDurableDigest(*digest);
       Status ack = outbox_->Ack(1);
       if (!ack.ok()) {
         // Local disk trouble persisting the cursor. The digest IS durable

@@ -229,7 +229,7 @@ Result<DatabaseDigest> ImmutableBlobDigestStore::Latest(
 
 Result<VerificationReport> VerifyLedgerAgainstStore(
     LedgerDatabase* db, const DigestStore& store,
-    const VerificationOptions& options) {
+    const VerificationOptions& options, bool incremental) {
   auto all = store.ListAll();
   if (!all.ok()) return all.status();
   uint64_t open_block = db->database_ledger()->open_block_id();
@@ -246,6 +246,7 @@ Result<VerificationReport> VerifyLedgerAgainstStore(
       continue;
     relevant.push_back(std::move(digest));
   }
+  if (incremental) return VerifyLedgerIncremental(db, relevant, options);
   return VerifyLedger(db, relevant, options);
 }
 

@@ -112,10 +112,13 @@ Result<DatabaseDigest> GenerateAndUploadDigest(LedgerDatabase* db,
 /// *other incarnations* that cover blocks past this database's chain (a
 /// restored sibling's own future — legitimately absent here). Digests of
 /// this incarnation are always used, so a same-incarnation digest pointing
-/// past the chain is correctly reported as a rollback attack.
+/// past the chain is correctly reported as a rollback attack. With
+/// `incremental` set, runs VerifyLedgerIncremental instead — the cron-driven
+/// auditor's steady state (DESIGN.md §11): same verdicts, O(delta) cost when
+/// the persisted watermark re-anchors.
 Result<VerificationReport> VerifyLedgerAgainstStore(
     LedgerDatabase* db, const DigestStore& store,
-    const VerificationOptions& options = {});
+    const VerificationOptions& options = {}, bool incremental = false);
 
 /// A digest signed with the organization's key (paper §2.4: digests can be
 /// "signed with the company's private/public key pair, to guarantee their

@@ -103,6 +103,17 @@ Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
     // First checkpoint, so recovery never sees a WAL without a catalog.
     SL_RETURN_IF_ERROR(db->Checkpoint());
   }
+
+  // Load the verifier watermark if a trustworthy one exists. Missing, torn
+  // or stale (other database / other incarnation) state is not an error —
+  // it only means the next incremental verification starts from scratch.
+  db->verification_state_path_ = db->options_.data_dir + "/verify_state.sldb";
+  auto vstate = VerificationState::Load(env, db->verification_state_path_);
+  if (vstate.ok() && vstate->database_id == db->options_.database_id &&
+      vstate->database_create_time == db->create_time_) {
+    MutexLock lock(&db->verify_mu_);
+    db->verification_state_ = std::move(*vstate);
+  }
   return db;
 }
 
@@ -1050,7 +1061,12 @@ std::string DatabaseStats::ToString() const {
          " tables=" + std::to_string(table_count) + " (" +
          std::to_string(ledger_table_count) + " ledger)" +
          " live_rows=" + std::to_string(live_rows) +
-         " history_rows=" + std::to_string(history_rows);
+         " history_rows=" + std::to_string(history_rows) +
+         " incr_verifies=" + std::to_string(incremental_verifications) + " (" +
+         std::to_string(verification_fallbacks) + " fallbacks, " +
+         std::to_string(blocks_reverified) + " blocks reverified, " +
+         std::to_string(blocks_skipped) + " skipped, " +
+         std::to_string(row_versions_skipped) + " row versions skipped)";
 }
 
 uint64_t LedgerDatabase::committed_txn_count() const {
@@ -1089,7 +1105,78 @@ DatabaseStats LedgerDatabase::GetStats() {
     if (entry->history != nullptr)
       stats.history_rows += entry->history->row_count();
   }
+  {
+    MutexLock lock(&verify_mu_);
+    stats.incremental_verifications = incremental_verifications_;
+    stats.verification_fallbacks = verification_fallbacks_;
+    stats.blocks_reverified = blocks_reverified_total_;
+    stats.blocks_skipped = blocks_skipped_total_;
+    stats.row_versions_skipped = row_versions_skipped_total_;
+  }
   return stats;
+}
+
+// ---- Incremental verification state (DESIGN.md §11) ----
+
+std::optional<VerificationState> LedgerDatabase::GetVerificationState() const {
+  MutexLock lock(&verify_mu_);
+  return verification_state_;
+}
+
+Status LedgerDatabase::StoreVerificationState(const VerificationState& state) {
+  if (state.database_id != options_.database_id ||
+      state.database_create_time != create_time_) {
+    return Status::InvalidArgument(
+        "verification state belongs to a different database or incarnation");
+  }
+  {
+    MutexLock lock(&verify_mu_);
+    verification_state_ = state;
+  }
+  // Persist outside verify_mu_: the save syncs, and leaf locks are never
+  // held across I/O. Concurrent stores are already serialized by the
+  // verifier's quiesce; a racing overwrite would only lose a watermark.
+  if (!verification_state_path_.empty())
+    return state.Save(env_, verification_state_path_);
+  return Status::OK();
+}
+
+void LedgerDatabase::ClearVerificationState() {
+  {
+    MutexLock lock(&verify_mu_);
+    verification_state_.reset();
+  }
+  if (!verification_state_path_.empty()) {
+    // Best-effort: a leftover file is stale (wrong watermark for the new
+    // truncation set) but still CRC-valid, so it must also be droppable by
+    // the verifier's re-anchor checks — and it is, because truncation
+    // removes the watermark block's predecessors and changes accumulators.
+    (void)VerificationState::Remove(env_, verification_state_path_);  // see above
+  }
+}
+
+void LedgerDatabase::NoteDurableDigest(const DatabaseDigest& digest) {
+  MutexLock lock(&verify_mu_);
+  if (!latest_durable_digest_.has_value() ||
+      digest.block_id >= latest_durable_digest_->block_id) {
+    latest_durable_digest_ = digest;
+  }
+}
+
+std::optional<DatabaseDigest> LedgerDatabase::latest_durable_digest() const {
+  MutexLock lock(&verify_mu_);
+  return latest_durable_digest_;
+}
+
+void LedgerDatabase::RecordIncrementalVerification(
+    bool fell_back, uint64_t blocks_reverified, uint64_t blocks_skipped,
+    uint64_t row_versions_skipped) {
+  MutexLock lock(&verify_mu_);
+  incremental_verifications_++;
+  if (fell_back) verification_fallbacks_++;
+  blocks_reverified_total_ += blocks_reverified;
+  blocks_skipped_total_ += blocks_skipped;
+  row_versions_skipped_total_ += row_versions_skipped;
 }
 
 std::vector<TruncationRecord> LedgerDatabase::GetTruncationRecords() {

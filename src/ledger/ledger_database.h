@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "ledger/digest_pipeline.h"
 #include "ledger/ledger_table.h"
 #include "ledger/ledger_view.h"
+#include "ledger/verification_state.h"
 #include "storage/wal.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -129,6 +131,14 @@ struct DatabaseStats {
   uint64_t ledger_table_count = 0;  // append-only + updateable user tables
   uint64_t live_rows = 0;
   uint64_t history_rows = 0;
+  // Incremental verification counters (DESIGN.md §11): runs of
+  // VerifyLedgerIncremental, how many of them fell back to a full pass,
+  // and the cumulative block / row-version hashing work done vs skipped.
+  uint64_t incremental_verifications = 0;
+  uint64_t verification_fallbacks = 0;
+  uint64_t blocks_reverified = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t row_versions_skipped = 0;
 
   std::string ToString() const;
 };
@@ -271,6 +281,30 @@ class LedgerDatabase {
   /// Appends a truncation record (called by TruncateLedger).
   Status RecordTruncation(const TruncationRecord& record);
 
+  // ---- Incremental verification state (DESIGN.md §11) ----
+
+  /// The cached verifier watermark, if one was loaded at Open or stored by
+  /// a successful incremental verification. Empty = verify from scratch.
+  std::optional<VerificationState> GetVerificationState() const;
+  /// Caches `state` and, for durable databases, persists it next to the
+  /// checkpoint (atomic temp+rename). The state must belong to this
+  /// database and incarnation.
+  Status StoreVerificationState(const VerificationState& state);
+  /// Drops the cached watermark and removes the on-disk state file.
+  /// Called by TruncateLedger: a truncation changes which transaction
+  /// references are exempt, so the old watermark no longer attests what it
+  /// claims. Best-effort on the file removal.
+  void ClearVerificationState();
+  /// Called by the digest pipeline when a digest is acknowledged durable in
+  /// the external store; incremental verification anchors to it.
+  void NoteDurableDigest(const DatabaseDigest& digest);
+  /// Latest digest known durable in the external store, if any.
+  std::optional<DatabaseDigest> latest_durable_digest() const;
+  /// Accumulates one VerifyLedgerIncremental run into GetStats counters.
+  void RecordIncrementalVerification(bool fell_back, uint64_t blocks_reverified,
+                                     uint64_t blocks_skipped,
+                                     uint64_t row_versions_skipped);
+
   /// Waits for active transactions to finish and blocks new ones while the
   /// returned guard lives. Used by checkpoint, verification and truncation.
   class QuiesceGuard {
@@ -347,6 +381,7 @@ class LedgerDatabase {
   std::string create_time_;
   std::string wal_path_;
   std::string checkpoint_path_;
+  std::string verification_state_path_;  // empty for ephemeral databases
 
   // Lock hierarchy (see DESIGN.md §8):
   //   group_mu_ -> commit_mu_ -> catalog_mu_ -> txn_mu_.
@@ -404,6 +439,19 @@ class LedgerDatabase {
   bool quiescing_ GUARDED_BY(txn_mu_) = false;
   uint64_t committed_txns_ GUARDED_BY(txn_mu_) = 0;
   uint64_t aborted_txns_ GUARDED_BY(txn_mu_) = 0;
+
+  // Incremental-verification watermark + counters (DESIGN.md §11).
+  // verify_mu_ is a leaf: it is never held while acquiring any other lock,
+  // and may be taken from the digest pipeline's ack path (NoteDurableDigest)
+  // and from the verifier.
+  mutable Mutex verify_mu_;
+  std::optional<VerificationState> verification_state_ GUARDED_BY(verify_mu_);
+  std::optional<DatabaseDigest> latest_durable_digest_ GUARDED_BY(verify_mu_);
+  uint64_t incremental_verifications_ GUARDED_BY(verify_mu_) = 0;
+  uint64_t verification_fallbacks_ GUARDED_BY(verify_mu_) = 0;
+  uint64_t blocks_reverified_total_ GUARDED_BY(verify_mu_) = 0;
+  uint64_t blocks_skipped_total_ GUARDED_BY(verify_mu_) = 0;
+  uint64_t row_versions_skipped_total_ GUARDED_BY(verify_mu_) = 0;
 };
 
 }  // namespace sqlledger

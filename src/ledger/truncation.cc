@@ -114,6 +114,13 @@ Status TruncateLedger(LedgerDatabase* db, uint64_t below_block,
   record.max_txn_id = range->max_txn_id;
   SL_RETURN_IF_ERROR(db->RecordTruncation(record));
 
+  // 7. Invalidate the incremental-verification watermark: truncation
+  // changed which transaction references are exempt and may have removed
+  // the watermark block itself. (The verifier's re-anchor checks would
+  // also catch a stale watermark; clearing keeps the next incremental run
+  // from paying a guaranteed fallback.)
+  db->ClearVerificationState();
+
   return db->Checkpoint();
 }
 

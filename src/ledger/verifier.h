@@ -66,6 +66,27 @@ struct VerificationReport {
   uint64_t highest_digest_block = 0;
   bool has_digest_coverage = false;
 
+  // ---- Incremental verification (DESIGN.md §11) ----
+  /// True when produced by VerifyLedgerIncremental (even if it fell back).
+  bool incremental = false;
+  /// The run started from a watermark but failed to re-anchor (or found a
+  /// prefix inconsistency) and reran as a full verification; `violations`
+  /// then holds the full run's findings verbatim.
+  bool fell_back_to_full = false;
+  std::string fallback_reason;
+  /// Watermark the run resumed from (0 when verifying from scratch).
+  uint64_t watermark_block = 0;
+  /// Blocks whose transaction-tree and row-version hashing was skipped
+  /// (id <= watermark) vs redone. Block headers are always re-hashed — that
+  /// linear pass is what re-anchors the chain cheaply.
+  uint64_t blocks_skipped = 0;
+  uint64_t blocks_reverified = 0;
+  /// Transactions / row versions whose Merkle leaf hashing was skipped.
+  /// row_versions_checked counts only the versions actually hashed, so
+  /// checked + skipped equals the full run's row_versions_checked.
+  uint64_t transactions_skipped = 0;
+  uint64_t row_versions_skipped = 0;
+
   bool ok() const { return violations.empty(); }
   std::string Summary() const;
 };
@@ -75,6 +96,26 @@ struct VerificationReport {
 /// (ledger disabled, storage errors) — tampering is reported via
 /// report.violations, not via Status.
 Result<VerificationReport> VerifyLedger(
+    LedgerDatabase* db, const std::vector<DatabaseDigest>& digests,
+    const VerificationOptions& options = {});
+
+/// Incremental verification (DESIGN.md §11): resumes from the database's
+/// persisted VerificationState watermark and skips re-hashing the
+/// transaction trees and row versions of blocks already verified (block id
+/// <= watermark). Invariants 1-2 (digests, block chain) are always
+/// re-checked in full — that linear block-header pass re-anchors the
+/// watermark and commits to every stored per-block transactions root — and
+/// the verified prefix is re-checked via compact accumulators: a
+/// count+fingerprint over the prefix's transaction entries (full content)
+/// plus per-table count+fingerprint accumulators over its row-version
+/// structure. Any re-anchor failure, prefix inconsistency or accumulator
+/// mismatch falls back to a full verification under the same quiesce, so
+/// the returned violation set is identical to VerifyLedger's for every such
+/// case. The database's latest durable digest (from the upload pipeline) is
+/// unioned into `digests` as an anchor. On a clean, unfiltered run the
+/// refreshed watermark is persisted (best-effort) and stats counters are
+/// updated.
+Result<VerificationReport> VerifyLedgerIncremental(
     LedgerDatabase* db, const std::vector<DatabaseDigest>& digests,
     const VerificationOptions& options = {});
 

@@ -53,8 +53,9 @@ std::string SimResult::Summary() const {
   os << (ok ? "OK" : "DIVERGED") << " statements=" << statements
      << " commits=" << commits << " crashes=" << crashes
      << " tampers=" << tampers << " truncations=" << truncations
-     << " verifications=" << verifications << " digests=" << digests
-     << " outages=" << store_outages
+     << " verifications=" << verifications
+     << " incr_verifications=" << incremental_verifications
+     << " digests=" << digests << " outages=" << store_outages
      << " digest=" << final_digest_hex << " fp=" << outcome_fingerprint;
   if (!ok) os << " @" << divergent_op << ": " << message;
   return os.str();
@@ -1010,6 +1011,84 @@ void SimDriver::DoVerify(size_t i) {
        std::to_string(report->row_versions_checked));
 }
 
+void SimDriver::DoIncrementalVerify(size_t i) {
+  if (!CommitOpenTxn(i)) return;
+
+  // Mirror the anchor union VerifyLedgerIncremental performs (watermark
+  // anchor + latest durable digest, both presence-filtered), so the full
+  // comparison run verifies the identical effective digest set.
+  std::vector<DatabaseDigest> full_digests = trusted_;
+  auto add_anchor = [&](const DatabaseDigest& d) {
+    if (d.database_id != db_->options().database_id) return;
+    if (!ledger()->FindBlock(d.block_id).ok()) return;
+    for (const DatabaseDigest& e : full_digests)
+      if (e == d) return;
+    full_digests.push_back(d);
+  };
+  auto state = db_->GetVerificationState();
+  if (state.has_value()) add_anchor(state->anchor);
+  auto durable = db_->latest_durable_digest();
+  if (durable.has_value()) add_anchor(*durable);
+
+  auto inc = VerifyLedgerIncremental(db_.get(), trusted_);
+  // The watermark save inside the call may consume an armed crash; the
+  // report itself is still valid (saves are best-effort), but the diff is
+  // skipped — recovery takes over and re-audits everything.
+  if (HandleIfCrashed(i, [] {})) return;
+  if (!inc.ok()) {
+    Fail(i, "VerifyLedgerIncremental: " + inc.status().message());
+    return;
+  }
+  result_.incremental_verifications++;
+  if (!inc->ok()) {
+    Fail(i, "incremental verification reported violations on untampered "
+            "data: " +
+                inc->Summary());
+    return;
+  }
+
+  auto full = VerifyLedger(db_.get(), full_digests);
+  if (!full.ok()) {
+    Fail(i, "VerifyLedger (incremental diff): " + full.status().message());
+    return;
+  }
+  if (!full->ok()) {
+    Fail(i, "full verification disagreed with clean incremental verdict: " +
+                full->Summary());
+    return;
+  }
+  // Counter identities: the incremental run must account for exactly the
+  // work the full run did — nothing double-counted, nothing dropped.
+  if (full->blocks_checked != inc->blocks_checked ||
+      inc->blocks_skipped + inc->blocks_reverified != inc->blocks_checked) {
+    Fail(i, "incremental block accounting mismatch: full=" +
+                std::to_string(full->blocks_checked) + " inc=" +
+                std::to_string(inc->blocks_checked) + " skipped=" +
+                std::to_string(inc->blocks_skipped) + " reverified=" +
+                std::to_string(inc->blocks_reverified));
+    return;
+  }
+  if (full->row_versions_checked !=
+      inc->row_versions_checked + inc->row_versions_skipped) {
+    Fail(i, "incremental row-version accounting mismatch: full=" +
+                std::to_string(full->row_versions_checked) + " inc=" +
+                std::to_string(inc->row_versions_checked) + "+" +
+                std::to_string(inc->row_versions_skipped));
+    return;
+  }
+  if (full->transactions_checked != inc->transactions_checked ||
+      full->has_digest_coverage != inc->has_digest_coverage ||
+      full->highest_digest_block != inc->highest_digest_block) {
+    Fail(i, "incremental coverage mismatch: full=" + full->Summary() +
+                " inc=" + inc->Summary());
+    return;
+  }
+  Note(std::to_string(i) + " incverify watermark=" +
+       std::to_string(inc->watermark_block) + " skipped_rows=" +
+       std::to_string(inc->row_versions_skipped) + " fellback=" +
+       std::to_string(inc->fell_back_to_full ? 1 : 0));
+}
+
 void SimDriver::DoCheckpoint(size_t i) {
   if (!CommitOpenTxn(i)) return;
   Status st = db_->Checkpoint();
@@ -1584,6 +1663,33 @@ void SimDriver::FullAudit(size_t i) {
                 std::to_string(stats.group_commit_txns) +
                 " grouped txns (largest " +
                 std::to_string(stats.largest_commit_group) + ")");
+    return;
+  }
+  // Incremental-verification watermark vs the model's full recomputation:
+  // whatever block the persisted state claims to have verified must hash,
+  // when recomputed the slow obvious way from the model, to the stored
+  // anchor hash. A watermark for a block the model no longer has is legal
+  // staleness (crash lost the unsynced tail); the verifier's re-anchor
+  // check falls back to a full pass in that case.
+  auto vstate = db_->GetVerificationState();
+  if (vstate.has_value()) {
+    for (const BlockRecord& b : model_->blocks()) {
+      if (b.block_id != vstate->last_verified_block) continue;
+      if (!(b.ComputeHash() == vstate->block_hash)) {
+        Fail(i, "audit watermark mismatch: state claims block " +
+                    std::to_string(vstate->last_verified_block) + " hash " +
+                    HashHex(vstate->block_hash) + " but model recomputes " +
+                    HashHex(b.ComputeHash()));
+        return;
+      }
+      if (vstate->anchor.block_id != vstate->last_verified_block) {
+        Fail(i, "audit watermark anchor mismatch: anchored to block " +
+                    std::to_string(vstate->anchor.block_id) +
+                    " but watermark is " +
+                    std::to_string(vstate->last_verified_block));
+      }
+      break;
+    }
   }
 }
 
@@ -1651,6 +1757,9 @@ void SimDriver::ExecuteOp(size_t i, const SimOp& op) {
       break;
     case SimOpKind::kVerify:
       DoVerify(i);
+      break;
+    case SimOpKind::kIncrementalVerify:
+      DoIncrementalVerify(i);
       break;
     case SimOpKind::kCheckpoint:
       DoCheckpoint(i);
@@ -1745,6 +1854,7 @@ SimResult SimDriver::Run(const std::vector<SimOp>& trace) {
     }
   }
   if (!diverged_) DoVerify(end);
+  if (!diverged_) DoIncrementalVerify(end);
   if (!diverged_) FullAudit(end);
 
   result_.ok = !diverged_;

@@ -70,6 +70,7 @@ struct SimResult {
   uint64_t tampers = 0;
   uint64_t truncations = 0;
   uint64_t verifications = 0;
+  uint64_t incremental_verifications = 0;
   uint64_t digests = 0;
   uint64_t store_outages = 0;
 
@@ -107,6 +108,10 @@ class SimDriver {
   void DoDigest(size_t i);
   void DoReceipt(size_t i, const SimOp& op);
   void DoVerify(size_t i);
+  /// VerifyLedgerIncremental diffed verdict-for-verdict against a full
+  /// VerifyLedger run on the same trusted digests (plus counter identities:
+  /// hashed + skipped row versions must equal the full run's hashed count).
+  void DoIncrementalVerify(size_t i);
   void DoCheckpoint(size_t i);
   void DoCrash(size_t i);
   void DoTamper(size_t i, const SimOp& op);

@@ -53,7 +53,7 @@ std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts) {
       {SimOpKind::kBegin, 55},   {SimOpKind::kDigest, 8},
       {SimOpKind::kVerify, 4},   {SimOpKind::kReceipt, 4},
       {SimOpKind::kLedgerView, 4}, {SimOpKind::kOpsView, 2},
-      {SimOpKind::kCheckpoint, 4},
+      {SimOpKind::kCheckpoint, 4}, {SimOpKind::kIncrementalVerify, 3},
   };
   if (opts.enable_ddl) {
     between.push_back({SimOpKind::kCreateTable, 2});
@@ -132,6 +132,7 @@ std::vector<SimOp> GenerateTrace(uint64_t seed, const GeneratorOptions& opts) {
       case SimOpKind::kOpsView:
       case SimOpKind::kDigest:
       case SimOpKind::kVerify:
+      case SimOpKind::kIncrementalVerify:
       case SimOpKind::kCheckpoint:
       case SimOpKind::kCrash:
         break;

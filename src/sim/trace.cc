@@ -31,6 +31,7 @@ const char* SimOpKindName(SimOpKind kind) {
     case SimOpKind::kTruncate: return "TRUNCATE";
     case SimOpKind::kStoreOutageBegin: return "STORE_OUTAGE_BEGIN";
     case SimOpKind::kStoreOutageEnd: return "STORE_OUTAGE_END";
+    case SimOpKind::kIncrementalVerify: return "INCREMENTAL_VERIFY";
   }
   return "UNKNOWN";
 }

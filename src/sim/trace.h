@@ -44,6 +44,7 @@ enum class SimOpKind : uint8_t {
   kTruncate,         // arg selects the cutoff below the newest closed block
   kStoreOutageBegin, // the remote digest store becomes unreachable
   kStoreOutageEnd,   // the outage lifts; queued digests catch up
+  kIncrementalVerify,// VerifyLedgerIncremental diffed against full verify
 };
 
 const char* SimOpKindName(SimOpKind kind);

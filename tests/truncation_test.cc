@@ -160,5 +160,113 @@ TEST_F(TruncationTest, NothingToTruncateIsOk) {
   EXPECT_TRUE(db_->GetTruncationRecords().empty());
 }
 
+TEST_F(TruncationTest, VerifyHandlesLedgerTruncatedToTheTail) {
+  // Truncate everything below the last closed block: the surviving chain
+  // is as empty as truncation can make it, and full verification of that
+  // stub — with a digest that still has a block to anchor to — must pass,
+  // not crash or report phantom violations.
+  uint64_t cutoff = digest_.block_id;
+  ASSERT_TRUE(TruncateLedger(db_.get(), cutoff, {digest_}).ok());
+  for (uint64_t b = 0; b < cutoff; b++)
+    EXPECT_TRUE(db_->database_ledger()->FindBlock(b).status().IsNotFound())
+        << "block " << b;
+
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+  auto report = VerifyLedger(db_.get(), {*digest});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GT(report->blocks_checked, 0u);
+
+  // With no digests at all the truncated stub still self-verifies.
+  auto bare = VerifyLedger(db_.get(), {});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->ok()) << bare->Summary();
+  EXPECT_FALSE(bare->has_digest_coverage);
+}
+
+// ---- Interaction with the incremental-verification watermark ----
+
+class TruncationWatermarkTest : public TempDirTest {
+ protected:
+  // A durable database (the watermark file needs a data_dir) with traffic
+  // spanning several blocks and a seeded watermark.
+  void SetUp() override {
+    TempDirTest::SetUp();
+    LedgerDatabaseOptions options;
+    options.data_dir = Path("db");
+    options.database_id = "truncdb";
+    options.block_size = 4;
+    options.clock = [this] { return ++clock_; };
+    auto db = LedgerDatabase::Open(std::move(options));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    Status created = db_->CreateTable("accounts", AccountSchema(),
+                                      TableKind::kUpdateable);
+    ASSERT_TRUE(created.ok()) << created.ToString();
+    for (int i = 0; i < 12; i++) {
+      auto txn = db_->Begin("app");
+      ASSERT_TRUE(db_->Insert(*txn, "accounts",
+                              {VS("acct" + std::to_string(i)), VB(i)})
+                      .ok());
+      ASSERT_TRUE(db_->Commit(*txn).ok());
+    }
+    auto digest = db_->GenerateDigest();
+    ASSERT_TRUE(digest.ok());
+    digest_ = *digest;
+    auto inc = VerifyLedgerIncremental(db_.get(), {digest_});
+    ASSERT_TRUE(inc.ok());
+    ASSERT_TRUE(inc->ok()) << inc->Summary();
+    ASSERT_TRUE(db_->GetVerificationState().has_value());
+  }
+
+  std::unique_ptr<LedgerDatabase> db_;
+  DatabaseDigest digest_;
+  int64_t clock_ = 1000000;
+};
+
+TEST_F(TruncationWatermarkTest, TruncationClearsTheWatermark) {
+  // TruncateLedger changes which transaction references are exempt, so
+  // the pre-truncation watermark no longer attests what it claims: the
+  // cached state and its file must both be gone afterwards.
+  ASSERT_TRUE(TruncateLedger(db_.get(), 2, {digest_}).ok());
+  EXPECT_FALSE(db_->GetVerificationState().has_value());
+  EXPECT_FALSE(std::filesystem::exists(Path("db") + "/verify_state.sldb"));
+
+  // And the next incremental verification re-seeds from scratch, agreeing
+  // with a full run on the post-truncation chain.
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+  auto inc = VerifyLedgerIncremental(db_.get(), {*digest});
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(inc->ok()) << inc->Summary();
+  EXPECT_FALSE(inc->fell_back_to_full) << inc->fallback_reason;
+  EXPECT_EQ(inc->watermark_block, 0u);
+  auto state = db_->GetVerificationState();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->last_verified_block, digest->block_id);
+}
+
+TEST_F(TruncationWatermarkTest, StaleBelowCutoffWatermarkFallsBackCleanly) {
+  // Force the pathological order: a watermark that references a block the
+  // truncation then removes (as if the clear had been lost). Re-anchoring
+  // must fail, fall back to a clean full verification and re-seed.
+  VerificationState stale = *db_->GetVerificationState();
+  ASSERT_TRUE(TruncateLedger(db_.get(), digest_.block_id, {digest_}).ok());
+  stale.last_verified_block = 0;  // truncated away
+  ASSERT_TRUE(db_->StoreVerificationState(stale).ok());
+
+  auto digest = db_->GenerateDigest();
+  ASSERT_TRUE(digest.ok());
+  auto full = VerifyLedger(db_.get(), {*digest});
+  ASSERT_TRUE(full.ok());
+  auto inc = VerifyLedgerIncremental(db_.get(), {*digest});
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(inc->fell_back_to_full);
+  EXPECT_EQ(full->ok(), inc->ok());
+  EXPECT_TRUE(inc->ok()) << inc->Summary();
+  ASSERT_EQ(full->violations.size(), inc->violations.size());
+}
+
 }  // namespace
 }  // namespace sqlledger
