@@ -1,0 +1,17 @@
+// Compliant twin: magic-number / file-header comparisons are format
+// checks, not secret comparisons, and must stay quiet.
+#include <cstring>
+
+namespace fx {
+
+constexpr char kMagic[4] = {'S', 'L', 'D', 'B'};
+
+bool CheckFileMagic(const char* buf) {
+  return memcmp(buf, kMagic, sizeof(kMagic)) == 0;
+}
+
+bool CheckHeaderHash(const char* header_hash_a, const char* header_hash_b) {
+  return memcmp(header_hash_a, header_hash_b, 8) == 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Seeded violations: short-circuiting comparisons on secret digests.
+#include <array>
+#include <cstring>
+
+namespace fx {
+
+struct Digest32 {
+  std::array<unsigned char, 32> bytes;
+};
+
+bool CompareDigests(const unsigned char* digest_a,
+                    const unsigned char* digest_b) {
+  return memcmp(digest_a, digest_b, 32) == 0;  // digest-hygiene: memcmp
+}
+
+bool RawBytesCompare(const Digest32& a, const Digest32& b) {
+  return a.bytes == b.bytes;  // digest-hygiene: raw .bytes comparison
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Seeded violation: direct stdio call outside the Env abstraction.
+#include <cstdio>
+
+namespace fx {
+
+int ReadConfigDirect(const char* path) {
+  FILE* f = fopen(path, "rb");  // env-bypass: direct fopen
+  if (f == nullptr) {
+    return -1;
+  }
+  fclose(f);  // env-bypass: direct fclose
+  return 0;
+}
+
+}  // namespace fx

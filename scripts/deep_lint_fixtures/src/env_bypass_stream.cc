@@ -1,0 +1,11 @@
+// Seeded violation: stream I/O dodges Env just as surely as fopen does.
+#include <fstream>
+
+namespace fx {
+
+bool DumpStateToStream(const char* path) {
+  std::ofstream out(path);  // env-bypass: ofstream
+  return out.good();
+}
+
+}  // namespace fx

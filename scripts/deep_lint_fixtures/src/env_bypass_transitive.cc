@@ -1,0 +1,15 @@
+// Seeded violation: raw open() reached only through two call hops; the
+// analyzer must surface the TransEntry -> OpenHelper -> RawOpenImpl chain.
+#include <fcntl.h>
+
+namespace fx {
+
+static int RawOpenImpl(const char* path) {
+  return ::open(path, 0);  // env-bypass, two hops below the entry point
+}
+
+static int OpenHelper(const char* path) { return RawOpenImpl(path); }
+
+int TransEntry(const char* path) { return OpenHelper(path); }
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Minimal stand-ins for util/thread_annotations.h so fixtures parse (and
+// compile under libclang) without pulling in the real repo headers.
+#ifndef FIXTURE_MUTEX_H_
+#define FIXTURE_MUTEX_H_
+
+struct Mutex {
+  void Lock() {}
+  void Unlock() {}
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() { mu_->Unlock(); }
+  Mutex* mu_;
+};
+
+#endif  // FIXTURE_MUTEX_H_

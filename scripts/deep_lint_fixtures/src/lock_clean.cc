@@ -1,0 +1,21 @@
+// Compliant twin: the nesting a_ -> b_ (reached interprocedurally via
+// Nested()) matches the declared hierarchy, so no finding may fire.
+#include "fixture_mutex.h"
+
+namespace fx {
+
+class Ord {
+ public:
+  void Locked() {
+    MutexLock a(&a_);
+    Nested();
+  }
+
+  void Nested() { MutexLock b(&b_); }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Seeded violation: the error path acquires b_ then a_, inverting the
+// declared a_ -> b_ order and closing a cycle in the observed graph.
+#include "fixture_mutex.h"
+
+namespace fx {
+
+class Inv {
+ public:
+  void Forward() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);  // declared order: a_ -> b_
+  }
+
+  void ErrorPath(bool fail) {
+    MutexLock b(&b_);
+    if (fail) {
+      MutexLock a(&a_);  // inversion: b_ held while acquiring a_
+    }
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Seeded violation: a_ -> c_ is a real nesting but is not declared in
+// lock_hierarchy.txt, so it must be reported as an undeclared edge.
+#include "fixture_mutex.h"
+
+namespace fx {
+
+class Und {
+ public:
+  void TakeBoth() {
+    MutexLock a(&a_);
+    MutexLock c(&c_);  // edge a_ -> c_: never declared
+  }
+
+ private:
+  Mutex a_;
+  Mutex c_;
+};
+
+}  // namespace fx

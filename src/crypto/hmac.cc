@@ -39,10 +39,7 @@ std::vector<uint8_t> HmacSigner::Sign(const Hash256& digest) const {
 bool HmacSigner::Verify(const Hash256& digest, Slice signature) const {
   std::vector<uint8_t> expected = Sign(digest);
   if (signature.size() != expected.size()) return false;
-  // Constant-time comparison.
-  uint8_t diff = 0;
-  for (size_t i = 0; i < expected.size(); i++) diff |= expected[i] ^ signature[i];
-  return diff == 0;
+  return ConstantTimeEqual(expected.data(), signature.data(), expected.size());
 }
 
 }  // namespace sqlledger

@@ -119,7 +119,7 @@ bool MerkleTree::VerifyProof(const Hash256& leaf_hash, const MerkleProof& proof,
     h = step.sibling_is_left ? MerkleNodeHash(step.sibling, h)
                              : MerkleNodeHash(h, step.sibling);
   }
-  return h == root;
+  return ConstantTimeEqual(h, root);
 }
 
 }  // namespace sqlledger

@@ -15,16 +15,24 @@
 #include <string>
 #include <vector>
 
+#include "util/constant_time.h"
 #include "util/slice.h"
 
 namespace sqlledger {
 
 /// A 256-bit hash value. Comparable and hashable so it can key maps.
+/// Equality is constant-time by construction (util/constant_time.h): hash
+/// values are routinely compared against trusted digests, MACs and receipt
+/// roots, and a short-circuiting compare would leak the first differing
+/// byte through timing. operator< is NOT constant-time; it exists only for
+/// deterministic container ordering and must never gate trust decisions.
 struct Hash256 {
   std::array<uint8_t, 32> bytes{};
 
-  bool operator==(const Hash256& o) const { return bytes == o.bytes; }
-  bool operator!=(const Hash256& o) const { return bytes != o.bytes; }
+  bool operator==(const Hash256& o) const {
+    return ConstantTimeEqual(bytes, o.bytes);
+  }
+  bool operator!=(const Hash256& o) const { return !(*this == o); }
   bool operator<(const Hash256& o) const { return bytes < o.bytes; }
 
   bool IsZero() const {
@@ -40,6 +48,14 @@ struct Hash256 {
   /// via the bool flag.
   static bool FromHex(const std::string& hex, Hash256* out);
 };
+
+/// Explicit constant-time comparison of two hash values. Identical to
+/// operator== (which already routes through ConstantTimeEqual); use this
+/// spelling at sites where the comparison gates a trust decision so the
+/// timing discipline is visible at the call site.
+inline bool ConstantTimeEqual(const Hash256& a, const Hash256& b) {
+  return ConstantTimeEqual(a.bytes, b.bytes);
+}
 
 /// Incremental SHA-256 context. Usage: Update(...) any number of times,
 /// then Finish(). Reset() restores the initial state for reuse.

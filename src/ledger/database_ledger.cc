@@ -278,12 +278,13 @@ Result<bool> DatabaseLedger::VerifyDigestChain(
     if (block->block_id != expected) return false;  // gap in the chain
     if (expected == older.block_id) {
       running = block->ComputeHash();
-      if (running != older.block_hash) return false;
+      if (!ConstantTimeEqual(running, older.block_hash)) return false;
     } else {
-      if (block->previous_block_hash != running) return false;
+      if (!ConstantTimeEqual(block->previous_block_hash, running)) return false;
       running = block->ComputeHash();
     }
-    if (block->block_id == newer.block_id) return running == newer.block_hash;
+    if (block->block_id == newer.block_id)
+      return ConstantTimeEqual(running, newer.block_hash);
     expected++;
   }
   return false;  // ran off the end before reaching `newer`

@@ -24,7 +24,8 @@ Status CheckDuplicateUpload(const std::vector<DatabaseDigest>& existing,
       return Status::OK();  // idempotent retry / duplicate delivery
     if (d.database_id == digest.database_id &&
         d.database_create_time == digest.database_create_time &&
-        d.block_id == digest.block_id && !(d.block_hash == digest.block_hash))
+        d.block_id == digest.block_id &&
+        !ConstantTimeEqual(d.block_hash, digest.block_hash))
       return Status::IntegrityViolation(
           "fork detected at upload: block " + std::to_string(digest.block_id) +
           " of incarnation '" + digest.database_create_time +

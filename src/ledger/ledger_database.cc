@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <filesystem>
 
 #include "catalog/row.h"
 #include "storage/checkpoint.h"
@@ -123,15 +122,14 @@ Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Restore(
     return Status::InvalidArgument("Restore requires a target data_dir");
   if (options.data_dir == source_dir)
     return Status::InvalidArgument("restore target must differ from source");
-  std::error_code ec;
-  if (!std::filesystem::exists(source_dir + "/checkpoint.sldb"))
+  // All restore I/O goes through Env so FaultInjectionEnv covers the copy:
+  // a crash mid-restore must leave either no target or a fully durable one.
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  if (!env->FileExists(source_dir + "/checkpoint.sldb"))
     return Status::NotFound("no checkpoint in source directory " + source_dir);
-  std::filesystem::remove_all(options.data_dir, ec);
-  std::filesystem::create_directories(options.data_dir, ec);
-  if (ec) return Status::IOError("cannot create restore target: " + ec.message());
-  std::filesystem::copy(source_dir, options.data_dir,
-                        std::filesystem::copy_options::recursive, ec);
-  if (ec) return Status::IOError("restore copy failed: " + ec.message());
+  SL_RETURN_IF_ERROR(RemoveDirRecursive(env, options.data_dir));
+  SL_RETURN_IF_ERROR(env->CreateDirs(options.data_dir));
+  SL_RETURN_IF_ERROR(CopyDirRecursive(env, source_dir, options.data_dir));
   options.force_new_incarnation = true;
   return Open(std::move(options));
 }

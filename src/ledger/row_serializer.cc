@@ -36,7 +36,7 @@ void SerializeValue(const Value& v, std::vector<uint8_t>* out) {
     }
     case DataType::kDouble: {
       PutVarint32(out, 8);
-      uint64_t bits;
+      uint64_t bits = 0;
       double d = v.double_value();
       std::memcpy(&bits, &d, 8);
       PutFixed64(out, bits);

@@ -43,7 +43,7 @@ inline uint64_t MixWord(uint64_t h, uint64_t v) {
 inline uint64_t MixBytes(uint64_t h, const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   while (n >= 8) {
-    uint64_t w;
+    uint64_t w = 0;
     memcpy(&w, p, 8);
     h = MixWord(h, w);
     p += 8;

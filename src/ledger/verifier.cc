@@ -18,7 +18,7 @@ namespace sqlledger {
 namespace {
 
 struct VersionLeaf {
-  uint64_t sequence;
+  uint64_t sequence = 0;
   Hash256 leaf;
 };
 
@@ -252,7 +252,7 @@ Result<VerificationReport> VerifyLedgerCore(
           " is not present in the ledger (truncated or tampered)";
       return report;
     }
-    if (block_hashes[widx] != state->block_hash) {
+    if (!ConstantTimeEqual(block_hashes[widx], state->block_hash)) {
       report.fallback_reason =
           "recomputed hash of watermark block " +
           std::to_string(state->last_verified_block) +
@@ -315,7 +315,7 @@ Result<VerificationReport> VerifyLedgerCore(
                   " which is not present in the ledger"});
       continue;
     }
-    if (block_hashes[idx] != digest.block_hash) {
+    if (!ConstantTimeEqual(block_hashes[idx], digest.block_hash)) {
       report.violations.push_back(
           {1, "hash mismatch for block " + std::to_string(digest.block_id) +
                   ": the block does not match the trusted digest"});
@@ -338,7 +338,7 @@ Result<VerificationReport> VerifyLedgerCore(
             {2, "block 0 records a non-null previous-block hash"});
       }
     } else if (block.block_id == blocks[i - 1].block_id + 1) {
-      if (block.previous_block_hash != block_hashes[i - 1]) {
+      if (!ConstantTimeEqual(block.previous_block_hash, block_hashes[i - 1])) {
         report.violations.push_back(
             {2, "block " + std::to_string(block.block_id) +
                     " records a previous-block hash that does not match "
@@ -449,7 +449,8 @@ Result<VerificationReport> VerifyLedgerCore(
       for (const TransactionEntry* e : block_entries)
         leaves.push_back(*entry_leaf_by_txn.at(e->txn_id));
       MerkleTree tree(std::move(leaves));
-      if (!ordinals_ok || tree.Root() != block.transactions_root) {
+      if (!ordinals_ok ||
+          !ConstantTimeEqual(tree.Root(), block.transactions_root)) {
         block_root_violations[bi] =
             Violation{3, "transactions Merkle root mismatch for block " +
                              std::to_string(block.block_id)};
@@ -511,8 +512,8 @@ Result<VerificationReport> VerifyLedgerCore(
 
   // Phase 1: collection scans, one task per physical store.
   struct ScanTask {
-    size_t table_idx;
-    bool history;
+    size_t table_idx = 0;
+    bool history = false;
   };
   std::vector<ScanTask> scan_tasks;
   for (size_t i = 0; i < tables_to_check.size(); i++) {
@@ -535,9 +536,9 @@ Result<VerificationReport> VerifyLedgerCore(
   // against the stored state below. This skip is where the O(delta) win
   // comes from: row-version leaf hashing dominates full verification.
   struct ItemRef {
-    size_t table_idx;
-    uint64_t txn;
-    uint64_t seq;
+    size_t table_idx = 0;
+    uint64_t txn = 0;
+    uint64_t seq = 0;
   };
   struct TableAccValue {
     uint64_t count = 0;
@@ -639,8 +640,8 @@ Result<VerificationReport> VerifyLedgerCore(
   }
 
   struct GroupCheck {
-    size_t table_idx;
-    uint64_t txn;
+    size_t table_idx = 0;
+    uint64_t txn = 0;
     std::vector<VersionLeaf>* leaves;
   };
   std::vector<GroupCheck> groups;

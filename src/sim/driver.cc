@@ -1,7 +1,6 @@
 #include "sim/driver.h"
 
 #include <algorithm>
-#include <filesystem>
 #include <functional>
 #include <sstream>
 
@@ -191,11 +190,15 @@ Status SimDriver::OpenDb() {
 }
 
 Status SimDriver::Setup() {
-  std::error_code ec;
-  std::filesystem::remove_all(config_.data_dir, ec);
-  std::filesystem::create_directories(config_.data_dir, ec);
-  if (ec)
-    return Status::IOError("cannot prepare data dir: " + config_.data_dir);
+  // Through Env (not std::filesystem) so the whole tree keeps a single I/O
+  // choke point; the fault env is created below, so preparation of the data
+  // dir intentionally uses the real filesystem.
+  Env* env = Env::Default();
+  Status prep = RemoveDirRecursive(env, config_.data_dir);
+  if (prep.ok()) prep = env->CreateDirs(config_.data_dir);
+  if (!prep.ok())
+    return Status::IOError("cannot prepare data dir: " + config_.data_dir +
+                           ": " + prep.message());
 
   ReferenceModel::Config mc;
   mc.block_size = config_.block_size;

@@ -197,7 +197,7 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path, Env* env) {
     struct IndexDef {
       std::string name;
       std::vector<size_t> ordinals;
-      bool unique;
+      bool unique = false;
     };
     std::vector<IndexDef> index_defs;
     for (uint32_t i = 0; i < *num_indexes; i++) {

@@ -89,6 +89,49 @@ class PosixSequentialFile : public SequentialFile {
 
 }  // namespace
 
+Status RemoveDirRecursive(Env* env, const std::string& dir) {
+  if (!env->FileExists(dir)) return Status::OK();
+  if (!env->IsDirectory(dir)) return env->RemoveFile(dir);
+  auto children = env->GetChildren(dir);
+  if (!children.ok()) return children.status();
+  for (const std::string& name : *children) {
+    const std::string path = dir + "/" + name;
+    if (env->IsDirectory(path)) {
+      SL_RETURN_IF_ERROR(RemoveDirRecursive(env, path));
+    } else {
+      SL_RETURN_IF_ERROR(env->RemoveFile(path));
+    }
+  }
+  return env->RemoveDir(dir);
+}
+
+Status CopyDirRecursive(Env* env, const std::string& from,
+                        const std::string& to) {
+  if (!env->IsDirectory(from))
+    return Status::InvalidArgument("copy source is not a directory: " + from);
+  SL_RETURN_IF_ERROR(env->CreateDirs(to));
+  auto children = env->GetChildren(from);
+  if (!children.ok()) return children.status();
+  for (const std::string& name : *children) {
+    const std::string src = from + "/" + name;
+    const std::string dst = to + "/" + name;
+    if (env->IsDirectory(src)) {
+      SL_RETURN_IF_ERROR(CopyDirRecursive(env, src, dst));
+      continue;
+    }
+    auto data = env->ReadFile(src);
+    if (!data.ok()) return data.status();
+    WritableFileOptions opts;
+    opts.truncate = true;
+    auto file = env->NewWritableFile(dst, opts);
+    if (!file.ok()) return file.status();
+    SL_RETURN_IF_ERROR((*file)->Append(Slice(data->data(), data->size())));
+    SL_RETURN_IF_ERROR((*file)->Sync());
+    SL_RETURN_IF_ERROR((*file)->Close());
+  }
+  return env->SyncDir(to);
+}
+
 Result<std::vector<uint8_t>> Env::ReadFile(const std::string& path) {
   auto file = NewSequentialFile(path);
   if (!file.ok()) return file.status();
@@ -185,6 +228,12 @@ Status PosixEnv::CreateDirs(const std::string& dir) {
 Status PosixEnv::RemoveFile(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT)
     return Status::IOError(ErrnoMessage("unlink " + path));
+  return Status::OK();
+}
+
+Status PosixEnv::RemoveDir(const std::string& dir) {
+  if (::rmdir(dir.c_str()) != 0 && errno != ENOENT)
+    return Status::IOError(ErrnoMessage("rmdir " + dir));
   return Status::OK();
 }
 
@@ -414,7 +463,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
 
 Result<std::unique_ptr<SequentialFile>> FaultInjectionEnv::NewSequentialFile(
     const std::string& path) {
-  bool corrupt;
+  bool corrupt = false;
   {
     MutexLock lock(&mu_);
     if (crashed_) return Status::IOError(kCrashedMessage);
@@ -454,6 +503,12 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   MutexLock lock(&mu_);
   if (crashed_) return Status::IOError(kCrashedMessage);
   return target_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::RemoveDir(const std::string& dir) {
+  MutexLock lock(&mu_);
+  if (crashed_) return Status::IOError(kCrashedMessage);
+  return target_->RemoveDir(dir);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,

@@ -75,6 +75,8 @@ class Env {
       const std::string& dir) = 0;
   virtual Status CreateDirs(const std::string& dir) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
+  /// Removes an empty directory. OK if it does not exist.
+  virtual Status RemoveDir(const std::string& dir) = 0;
   /// Atomic replace. NOT durable until the parent directory is synced.
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
@@ -89,6 +91,18 @@ class Env {
   Result<std::vector<uint8_t>> ReadFile(const std::string& path);
 };
 
+/// Recursively removes `dir` and everything under it through the Env
+/// interface (so fault injection sees every operation). OK if `dir` does
+/// not exist.
+Status RemoveDirRecursive(Env* env, const std::string& dir);
+
+/// Recursively copies the tree rooted at `from` into `to` (created if
+/// missing) through the Env interface. Every copied file is synced and
+/// each directory dir-synced, so the copy is crash-durable when the call
+/// returns — the restore path depends on that.
+Status CopyDirRecursive(Env* env, const std::string& from,
+                        const std::string& to);
+
 /// Direct POSIX implementation. Stateless; safe to share across threads.
 class PosixEnv : public Env {
  public:
@@ -102,6 +116,7 @@ class PosixEnv : public Env {
   Result<std::vector<std::string>> GetChildren(const std::string& dir) override;
   Status CreateDirs(const std::string& dir) override;
   Status RemoveFile(const std::string& path) override;
+  Status RemoveDir(const std::string& dir) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
   Status SyncDir(const std::string& dir) override;
@@ -155,6 +170,7 @@ class FaultInjectionEnv : public Env {
   Result<std::vector<std::string>> GetChildren(const std::string& dir) override;
   Status CreateDirs(const std::string& dir) override;
   Status RemoveFile(const std::string& path) override;
+  Status RemoveDir(const std::string& dir) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
   Status SyncDir(const std::string& dir) override;

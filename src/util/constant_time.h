@@ -1,0 +1,42 @@
+// Constant-time byte comparison for digest/MAC material. A short-circuiting
+// memcmp / operator== leaks, through its running time, the index of the
+// first differing byte — exactly the oracle an attacker needs to forge a
+// MAC or receipt signature one byte at a time. Every comparison of secret-
+// derived bytes (HMAC outputs, receipt signatures, block hashes checked
+// against trusted digests) must go through ConstantTimeEqual; the
+// digest-hygiene rule in scripts/deep_lint.py enforces this across src/.
+//
+// Comparisons of public framing bytes (file magic numbers, format headers)
+// are exempt — they carry no secret and live on the parse error path.
+
+#ifndef SQLLEDGER_UTIL_CONSTANT_TIME_H_
+#define SQLLEDGER_UTIL_CONSTANT_TIME_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sqlledger {
+
+/// Compares `n` bytes of `a` and `b` in time that depends only on `n`,
+/// never on the byte values: the whole buffers are always walked and the
+/// differences OR-folded, BoringSSL CRYPTO_memcmp-style. The accumulator
+/// is volatile so the compiler cannot re-introduce an early exit.
+inline bool ConstantTimeEqual(const void* a, const void* b, size_t n) {
+  const uint8_t* pa = static_cast<const uint8_t*>(a);
+  const uint8_t* pb = static_cast<const uint8_t*>(b);
+  volatile uint8_t diff = 0;
+  for (size_t i = 0; i < n; i++) diff = diff | (pa[i] ^ pb[i]);
+  return diff == 0;
+}
+
+/// Fixed-size byte-array overload (Hash256::bytes, HMAC blocks).
+template <size_t N>
+inline bool ConstantTimeEqual(const std::array<uint8_t, N>& a,
+                              const std::array<uint8_t, N>& b) {
+  return ConstantTimeEqual(a.data(), b.data(), N);
+}
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_CONSTANT_TIME_H_

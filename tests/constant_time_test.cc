@@ -1,0 +1,89 @@
+// Tests for util/constant_time.h. Timing itself is not assertable in a
+// unit test; what is assertable is exact equality semantics across every
+// differing byte position (a short-circuit bug typically shows up as a
+// position-dependent result) and that the Hash256 comparison operators
+// route through the constant-time primitive.
+
+#include "util/constant_time.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "gtest/gtest.h"
+
+namespace sqlledger {
+namespace {
+
+TEST(ConstantTimeTest, EqualBuffers) {
+  std::array<uint8_t, 32> a{}, b{};
+  for (size_t i = 0; i < a.size(); i++) a[i] = b[i] = static_cast<uint8_t>(i * 7);
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), b.data(), a.size()));
+}
+
+TEST(ConstantTimeTest, ZeroLengthIsEqual) {
+  uint8_t x = 1, y = 2;
+  EXPECT_TRUE(ConstantTimeEqual(&x, &y, 0));
+}
+
+TEST(ConstantTimeTest, DetectsDifferenceAtEveryPosition) {
+  std::array<uint8_t, 32> base{};
+  for (size_t i = 0; i < base.size(); i++) base[i] = static_cast<uint8_t>(i);
+  for (size_t pos = 0; pos < base.size(); pos++) {
+    for (int bit = 0; bit < 8; bit++) {
+      std::array<uint8_t, 32> mutated = base;
+      mutated[pos] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(ConstantTimeEqual(base, mutated))
+          << "missed flip at byte " << pos << " bit " << bit;
+      EXPECT_FALSE(ConstantTimeEqual(mutated, base));
+    }
+  }
+}
+
+TEST(ConstantTimeTest, MultipleDifferencesStillUnequal) {
+  std::array<uint8_t, 16> a{}, b{};
+  b.fill(0xff);
+  EXPECT_FALSE(ConstantTimeEqual(a, b));
+}
+
+TEST(ConstantTimeTest, Hash256OperatorsRouteThroughConstantTime) {
+  Hash256 a = Sha256::Digest(Slice("sql ledger"));
+  Hash256 b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  b.bytes[31] ^= 1;
+  EXPECT_TRUE(a != b);
+  EXPECT_FALSE(ConstantTimeEqual(a, b));
+  // Agreement with the naive comparison on random-ish digests.
+  for (int i = 0; i < 64; i++) {
+    Hash256 x = Sha256::Digest(Slice(std::string(1, static_cast<char>(i))));
+    Hash256 y = Sha256::Digest(Slice(std::string(1, static_cast<char>(i % 2))));
+    EXPECT_EQ(x.bytes == y.bytes, ConstantTimeEqual(x, y));
+    EXPECT_EQ(x.bytes == y.bytes, x == y);
+  }
+}
+
+TEST(ConstantTimeTest, HmacSignerVerifyUsesFullComparison) {
+  HmacSigner signer("key-1", std::vector<uint8_t>{1, 2, 3, 4});
+  Hash256 digest = Sha256::Digest(Slice("block root"));
+  std::vector<uint8_t> sig = signer.Sign(digest);
+  EXPECT_TRUE(signer.Verify(digest, Slice(sig)));
+  // Any single-byte corruption anywhere in the MAC must be rejected.
+  for (size_t pos = 0; pos < sig.size(); pos++) {
+    std::vector<uint8_t> bad = sig;
+    bad[pos] ^= 0x80;
+    EXPECT_FALSE(signer.Verify(digest, Slice(bad))) << "at byte " << pos;
+  }
+  // Truncated / extended signatures are rejected by length, never compared.
+  std::vector<uint8_t> shorter(sig.begin(), sig.end() - 1);
+  EXPECT_FALSE(signer.Verify(digest, Slice(shorter)));
+  std::vector<uint8_t> longer = sig;
+  longer.push_back(0);
+  EXPECT_FALSE(signer.Verify(digest, Slice(longer)));
+}
+
+}  // namespace
+}  // namespace sqlledger
