@@ -220,6 +220,18 @@ int main(int argc, char** argv) {
           JsonValue::Int(static_cast<int64_t>(final_status.transient_errors)));
   doc.Set("blocks_verified",
           JsonValue::Int(static_cast<int64_t>(report->blocks_checked)));
+  // Registry-sourced extras (DESIGN.md §13): status() above reads the same
+  // digest.* registry storage, so these agree with the counters by
+  // construction.
+  MetricsSnapshot snap = db->MetricsSnapshot();
+  doc.Set("breaker_transitions",
+          JsonValue::Int(static_cast<int64_t>(
+              snap.counters["digest.breaker_transitions_total"])));
+  const HistogramSnapshot& upload = snap.histograms["digest.upload_micros"];
+  doc.Set("upload_p50_micros", JsonValue::Double(upload.Percentile(50)));
+  doc.Set("upload_p99_micros", JsonValue::Double(upload.Percentile(99)));
+  doc.Set("final_outbox_depth",
+          JsonValue::Int(snap.gauges["digest.outbox_depth"]));
 
   std::ofstream out(out_path);
   out << doc.DumpPretty() << "\n";

@@ -83,6 +83,8 @@ struct CommitBenchResult {
   double fsyncs_per_txn = 0;
   uint64_t commit_groups = 0;
   uint64_t largest_group = 0;
+  double sync_p50_micros = 0;
+  double sync_p99_micros = 0;
 };
 
 Schema CommitBenchSchema() {
@@ -111,7 +113,9 @@ CommitBenchResult RunCommitConfig(int sessions, int txns_per_session,
   if (!db->CreateTable("t", CommitBenchSchema(), TableKind::kAppendOnly).ok())
     std::exit(1);
 
-  DatabaseStats before = db->GetStats();
+  // The numbers come from the metrics registry (DESIGN.md §13) — the same
+  // accounting the stats surface reports, so the bench can't drift from it.
+  MetricsSnapshot before = db->MetricsSnapshot();
   const std::string payload(64, 'x');
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -135,15 +139,22 @@ CommitBenchResult RunCommitConfig(int sessions, int txns_per_session,
   double elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
-  DatabaseStats after = db->GetStats();
+  MetricsSnapshot after = db->MetricsSnapshot();
 
   uint64_t txns = static_cast<uint64_t>(sessions) * txns_per_session;
   CommitBenchResult result;
   result.tps = txns / elapsed;
   result.fsyncs_per_txn =
-      static_cast<double>(after.wal_syncs - before.wal_syncs) / txns;
-  result.commit_groups = after.commit_groups - before.commit_groups;
-  result.largest_group = after.largest_commit_group;
+      static_cast<double>(after.counters["wal.syncs_total"] -
+                          before.counters["wal.syncs_total"]) /
+      txns;
+  result.commit_groups = after.counters["commit.groups_total"] -
+                         before.counters["commit.groups_total"];
+  const HistogramSnapshot& group_size = after.histograms["commit.group_size"];
+  result.largest_group = group_size.max;
+  const HistogramSnapshot& sync = after.histograms["wal.sync_micros"];
+  result.sync_p50_micros = sync.Percentile(50);
+  result.sync_p99_micros = sync.Percentile(99);
   db.reset();
   std::filesystem::remove_all(dir);
   return result;
@@ -188,6 +199,8 @@ int RunCommitBench(int txns_per_session, const std::string& out_path) {
             JsonValue::Int(static_cast<int64_t>(after.commit_groups)));
     row.Set("after_largest_group",
             JsonValue::Int(static_cast<int64_t>(after.largest_group)));
+    row.Set("after_sync_p50_micros", JsonValue::Double(after.sync_p50_micros));
+    row.Set("after_sync_p99_micros", JsonValue::Double(after.sync_p99_micros));
     sweep.Append(std::move(row));
     if (speedup > best_speedup) best_speedup = speedup;
     if (sessions == 8) {

@@ -128,17 +128,23 @@ int RunIncremental(int base_txns, int append_txns,
   auto d1 = db->GenerateDigest();
   if (!d1.ok()) std::exit(1);
 
-  auto time_it = [](auto fn) {
-    auto start = std::chrono::steady_clock::now();
+  // Timings come from the database's metrics registry (the verify.*_micros
+  // histograms of DESIGN.md §13) — the same accounting verify_tool --stats
+  // reports — instead of a bench-private wall-clock read.
+  auto hist_sum = [&](const char* name) {
+    MetricsSnapshot s = db->MetricsSnapshot();
+    auto it = s.histograms.find(name);
+    return it == s.histograms.end() ? uint64_t{0} : it->second.sum;
+  };
+  auto timed = [&](const char* hist, auto fn) {
+    uint64_t before = hist_sum(hist);
     fn();
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
+    return static_cast<double>(hist_sum(hist) - before) / 1e6;
   };
 
   // Seed the watermark: the first incremental run has nothing to skip and
   // costs the same as a full verification.
-  double seed_s = time_it([&] {
+  double seed_s = timed("verify.incremental_micros", [&] {
     auto report = VerifyLedgerIncremental(db.get(), {*d1});
     if (!report.ok() || !report->ok()) std::exit(1);
   });
@@ -150,7 +156,7 @@ int RunIncremental(int base_txns, int append_txns,
   std::vector<DatabaseDigest> digests = {*d1, *d2};
 
   VerificationReport inc;
-  double incremental_s = time_it([&] {
+  double incremental_s = timed("verify.incremental_micros", [&] {
     auto r = VerifyLedgerIncremental(db.get(), digests);
     if (!r.ok() || !r->ok() || r->fell_back_to_full) {
       std::printf("unexpected incremental verification failure\n");
@@ -167,7 +173,7 @@ int RunIncremental(int base_txns, int append_txns,
   const uint64_t full_rows =
       inc.row_versions_checked + inc.row_versions_skipped;
 
-  double full_s = time_it([&] {
+  double full_s = timed("verify.full_micros", [&] {
     auto report = VerifyLedger(db.get(), digests);
     if (!report.ok() || !report->ok()) {
       std::printf("unexpected full verification failure\n");
@@ -203,6 +209,18 @@ int RunIncremental(int base_txns, int append_txns,
   doc.Set("full_seconds", JsonValue::Double(full_s));
   doc.Set("incremental_seconds", JsonValue::Double(incremental_s));
   doc.Set("speedup", JsonValue::Double(speedup));
+  // Phase accounting across all runs, straight from the registry.
+  JsonValue phases = JsonValue::Object();
+  phases.Set("reanchor_micros",
+             JsonValue::Int(static_cast<int64_t>(
+                 hist_sum("verify.reanchor_micros"))));
+  phases.Set("tree_hash_micros",
+             JsonValue::Int(static_cast<int64_t>(
+                 hist_sum("verify.tree_hash_micros"))));
+  phases.Set("view_check_micros",
+             JsonValue::Int(static_cast<int64_t>(
+                 hist_sum("verify.view_check_micros"))));
+  doc.Set("phase_micros", std::move(phases));
   std::ofstream out(out_path);
   out << doc.DumpPretty() << "\n";
   std::printf("wrote %s\n", out_path.c_str());

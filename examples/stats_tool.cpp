@@ -1,0 +1,170 @@
+// stats_tool: exercises the full write / digest / verify pipeline against a
+// scratch directory and prints the metrics-registry snapshot as JSON — the
+// smoke surface for the observability layer (DESIGN.md §13).
+//
+//   ./stats_tool [--txns=N] [--sessions=S] [--data-dir=DIR]
+//                [--trace-out=FILE]
+//
+// Runs S concurrent sessions committing N total transactions through the
+// durable group-commit pipeline, pushes a digest through the upload
+// pipeline's outbox, runs a full verification (seeding the incremental
+// watermark) followed by an incremental one, then dumps the snapshot.
+// --trace-out additionally writes the Chrome trace-event JSON
+// (chrome://tracing / ui.perfetto.dev).
+//
+// The tool self-checks the snapshot: wal.sync_micros p99, the
+// commit.group_size histogram, the digest.outbox_depth gauge and
+// verify.incremental_micros must all be populated, so CI can gate on the
+// exit code. 0 = snapshot complete, 1 = setup/verification failure,
+// 3 = a required metric is missing or zero.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "ledger/digest_store.h"
+#include "ledger/verifier.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+using namespace sqlledger;
+
+namespace {
+
+Schema PayloadSchema() {
+  Schema s;
+  s.AddColumn("id", DataType::kBigInt, false);
+  s.AddColumn("payload", DataType::kVarchar, false, 64);
+  s.SetPrimaryKey({0});
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int txns = 1200;
+  int sessions = 4;
+  std::string data_dir;
+  std::string trace_out;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--txns=", 7) == 0)
+      txns = std::atoi(argv[i] + 7);
+    else if (std::strncmp(argv[i], "--sessions=", 11) == 0)
+      sessions = std::atoi(argv[i] + 11);
+    else if (std::strncmp(argv[i], "--data-dir=", 11) == 0)
+      data_dir = argv[i] + 11;
+    else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
+    else {
+      std::printf(
+          "usage: %s [--txns=N] [--sessions=S] [--data-dir=DIR] "
+          "[--trace-out=FILE]\n",
+          argv[0]);
+      return 64;
+    }
+  }
+  if (sessions < 1) sessions = 1;
+  if (data_dir.empty())
+    data_dir =
+        (std::filesystem::temp_directory_path() / "sl_stats_tool").string();
+  std::filesystem::remove_all(data_dir);
+
+  LedgerDatabaseOptions options;
+  options.block_size = 256;
+  options.database_id = "stats-tool";
+  options.sync_wal = true;  // durability on: wal.sync_micros must populate
+  options.data_dir = data_dir;
+  auto opened = LedgerDatabase::Open(std::move(options));
+  if (!opened.ok()) {
+    std::printf("open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(*opened);
+  if (!db->CreateTable("t", PayloadSchema(), TableKind::kAppendOnly).ok())
+    return 1;
+
+  // Digest protection first, so the outbox-depth gauge tracks the workload.
+  InMemoryDigestStore store;
+  DigestPipelineOptions popts;
+  popts.outbox_dir = data_dir + "/digest_outbox";
+  popts.initial_backoff_micros = 0;
+  popts.max_backoff_micros = 0;
+  popts.jitter = 0;
+  popts.probe_interval_micros = 0;
+  if (!db->StartDigestProtection(&store, popts).ok()) return 1;
+
+  const int per_session = txns / sessions;
+  const std::string payload(64, 'x');
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; s++) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < per_session; i++) {
+        int64_t id = static_cast<int64_t>(s) * per_session + i;
+        auto txn = db->Begin("stats");
+        if (!txn.ok()) std::exit(1);
+        Status st = db->Insert(*txn, "t",
+                               {Value::BigInt(id), Value::Varchar(payload)});
+        if (st.ok()) st = db->Commit(*txn);
+        if (!st.ok()) {
+          std::printf("commit failed: %s\n", st.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  if (!db->digest_pipeline()->GenerateAndSubmit().ok()) return 1;
+  if (!db->digest_pipeline()->DrainFully().ok()) return 1;
+
+  // Full verification seeds the watermark; the incremental run consumes it.
+  auto full = VerifyLedgerAgainstStore(db.get(), store);
+  if (!full.ok() || !full->ok()) {
+    std::printf("full verification failed\n");
+    return 1;
+  }
+  auto incr = VerifyLedgerAgainstStore(db.get(), store, {},
+                                       /*incremental=*/true);
+  if (!incr.ok() || !incr->ok()) {
+    std::printf("incremental verification failed\n");
+    return 1;
+  }
+
+  MetricsSnapshot snap = db->MetricsSnapshot();
+  std::printf("%s\n", MetricsToJson(snap).DumpPretty().c_str());
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << db->tracer()->ToChromeJson().Dump() << "\n";
+    std::fprintf(stderr, "wrote trace: %s\n", trace_out.c_str());
+  }
+
+  db.reset();
+  std::filesystem::remove_all(data_dir);
+
+  // Self-check: the acceptance metrics must be populated.
+  auto hist_count = [&](const char* name) {
+    auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? uint64_t{0} : it->second.count;
+  };
+  int rc = 0;
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "MISSING: %s\n", what);
+      rc = 3;
+    }
+  };
+  auto wal_sync = snap.histograms.find("wal.sync_micros");
+  require(wal_sync != snap.histograms.end() &&
+              wal_sync->second.Percentile(99) > 0,
+          "nonzero wal.sync_micros p99");
+  require(hist_count("commit.group_size") > 0, "commit.group_size histogram");
+  require(snap.gauges.count("digest.outbox_depth") == 1,
+          "digest.outbox_depth gauge");
+  require(hist_count("verify.incremental_micros") > 0,
+          "nonzero verify.incremental_micros");
+  return rc;
+}

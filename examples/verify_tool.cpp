@@ -10,7 +10,11 @@
 // in <data_dir>/verify_state.sldb (DESIGN.md §11): identical verdicts,
 // O(delta) cost — the steady state for that cron-driven auditor.
 //
-//   ./verify_tool [--incremental] <data_dir> <digest_store_dir>
+// --stats additionally dumps the metrics-registry snapshot as JSON after
+// the report (DESIGN.md §13) — verification phase timings, fallback causes
+// and recovery durations of exactly this run.
+//
+//   ./verify_tool [--incremental] [--stats] <data_dir> <digest_store_dir>
 //                 [database_id] [table ...]
 
 #include <cstdio>
@@ -18,19 +22,28 @@
 
 #include "ledger/digest_store.h"
 #include "ledger/verifier.h"
+#include "util/metrics.h"
 
 using namespace sqlledger;
 
 int main(int argc, char** argv) {
   bool incremental = false;
+  bool stats_json = false;
   int arg = 1;
-  if (arg < argc && std::strcmp(argv[arg], "--incremental") == 0) {
-    incremental = true;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strcmp(argv[arg], "--incremental") == 0) {
+      incremental = true;
+    } else if (std::strcmp(argv[arg], "--stats") == 0) {
+      stats_json = true;
+    } else {
+      std::printf("unknown flag: %s\n", argv[arg]);
+      return 64;
+    }
     arg++;
   }
   if (argc - arg < 2) {
     std::printf(
-        "usage: %s [--incremental] <data_dir> <digest_store_dir> "
+        "usage: %s [--incremental] [--stats] <data_dir> <digest_store_dir> "
         "[database_id] [table ...]\n",
         argv[0]);
     return 64;
@@ -71,5 +84,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s\n", report->Summary().c_str());
+  if (stats_json)
+    std::printf("\n%s\n",
+                MetricsToJson((*db)->MetricsSnapshot()).DumpPretty().c_str());
   return report->ok() ? 0 : 2;
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file emitted by the Tracer
+(DESIGN.md §13).  Used by the CI bench-smoke step on the stats_tool trace
+artifact; exits non-zero with a diagnostic on the first violation.
+
+Checks:
+  - top-level shape: traceEvents list, displayTimeUnit, otherData with a
+    non-negative integer dropped_events;
+  - every event has the required keys for its phase ('X' needs a
+    non-negative dur, 'i' needs the "t" scope), integer timestamps, and
+    positive integer pid/tid;
+  - events are in recording order: per-tid 'X' timestamps never go
+    backwards (the ring exports oldest first).
+
+Usage: check_trace.py <trace.json> [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+KNOWN_PHASES = {"X", "i"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path, min_events):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit must be 'ms'")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData object")
+    dropped = other.get("dropped_events")
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        fail(f"otherData.dropped_events must be a non-negative int, got {dropped!r}")
+    if len(events) < min_events:
+        fail(f"expected at least {min_events} events, got {len(events)}")
+
+    last_ts_by_tid = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        missing = REQUIRED_EVENT_KEYS - ev.keys()
+        if missing:
+            fail(f"{where} missing keys: {sorted(missing)}")
+        if not ev["name"] or not isinstance(ev["name"], str):
+            fail(f"{where} has an empty name")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"{where} has unknown phase {ph!r}")
+        for key in ("ts", "pid", "tid"):
+            v = ev[key]
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail(f"{where}.{key} is not an integer: {v!r}")
+        if ev["ts"] < 0 or ev["pid"] < 1 or ev["tid"] < 1:
+            fail(f"{where} has out-of-range ts/pid/tid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                fail(f"{where} ('X') needs a non-negative integer dur")
+            # Oldest-first export: per-tid span starts never go backwards.
+            tid = ev["tid"]
+            if tid in last_ts_by_tid and ev["ts"] < last_ts_by_tid[tid]:
+                fail(f"{where} ts {ev['ts']} precedes earlier event on tid {tid}")
+            last_ts_by_tid[tid] = ev["ts"]
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"{where} ('i') needs instant scope \"s\":\"t\"")
+        args = ev.get("args")
+        if args is not None and (not isinstance(args, dict) or not args):
+            fail(f"{where}.args must be a non-empty object when present")
+
+    print(
+        f"check_trace: OK: {len(events)} events, {dropped} dropped, "
+        f"{len(last_ts_by_tid)} span thread(s)"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the trace JSON file")
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of events expected (default 1)",
+    )
+    ns = ap.parse_args()
+    check(ns.trace, ns.min_events)
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,12 @@ to the offending line — use sparingly and say why on an adjacent comment):
                   amortises exactly one fsync per commit group via
                   Wal::AppendBatch; an extra per-call fsync on the commit
                   path silently undoes the batching and the Figure-7 numbers.
+  metric-naming   a string literal passed to GetCounter/GetGauge/
+                  GetHistogram that does not follow the `subsystem.noun_unit`
+                  convention (DESIGN.md §13): lowercase subsystem, one dot,
+                  lowercase_underscore noun ending in a known unit token
+                  (micros/bytes/total/count/size/depth/ratio/state). Mirrors
+                  IsValidMetricName in src/util/metrics.cc.
   digest-decorator-coverage
                   (repo-level) every class in src/ deriving from DigestStore —
                   store implementations and fault-injecting decorators alike —
@@ -299,6 +305,45 @@ def check_commit_sync(path, lines, findings):
 
 
 # ---------------------------------------------------------------------------
+# Rule: metric-naming
+# ---------------------------------------------------------------------------
+
+# Metric names live in string literals, so this rule scans RAW lines (most
+# rules strip literals first). Only literal arguments are checked; a name
+# built at runtime is rare and gets a free pass.
+METRIC_GET_RE = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
+
+METRIC_UNITS = {"micros", "bytes", "total", "count", "size", "depth",
+                "ratio", "state"}
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9]*\.[a-z][a-z0-9_]*$")
+
+
+def is_valid_metric_name(name):
+    """Python mirror of IsValidMetricName (src/util/metrics.cc): lowercase
+    subsystem '.' lowercase_underscore noun whose final '_'-separated token
+    is a known unit."""
+    if not METRIC_NAME_RE.match(name):
+        return False
+    noun = name.split(".", 1)[1]
+    return noun.rsplit("_", 1)[-1] in METRIC_UNITS
+
+
+def check_metric_naming(path, lines, findings):
+    for i, raw in enumerate(lines, 1):
+        for m in METRIC_GET_RE.finditer(raw):
+            name = m.group(1)
+            if is_valid_metric_name(name):
+                continue
+            if allowed(raw, "metric-naming"):
+                continue
+            findings.append(Finding(
+                "metric-naming", path, i,
+                f'metric name "{name}" violates the subsystem.noun_unit '
+                "convention (lowercase subsystem, one dot, noun ending in "
+                f"one of {sorted(METRIC_UNITS)}); see DESIGN.md §13"))
+
+
+# ---------------------------------------------------------------------------
 # Rule: digest-decorator-coverage (repo-level)
 # ---------------------------------------------------------------------------
 
@@ -372,6 +417,7 @@ CHECKS = [
     ("tsa-escape", SRC_DIRS, check_tsa_escape),
     ("void-discard", SRC_DIRS, check_void_discard),
     ("commit-sync", SRC_DIRS, check_commit_sync),
+    ("metric-naming", ALL_CODE_DIRS, check_metric_naming),
 ]
 
 # Checks that look at the whole tree at once rather than one file at a time.
@@ -459,6 +505,12 @@ SELF_TEST_CASES = [
      "commit_mu_.Lock();\n"
      "commit_mu_.Unlock();\n"
      "wal_->Sync();"),
+    ("metric-naming", "src/ledger/x_selftest.cc",
+     'Counter* c = metrics->GetCounter("walSyncs");',
+     'Counter* c = metrics->GetCounter("wal.syncs_total");'),
+    ("metric-naming", "src/ledger/x_selftest.cc",
+     'Histogram* h = registry.GetHistogram("wal.sync_seconds");',
+     'Histogram* h = registry.GetHistogram("wal.sync_micros");'),
 ]
 
 

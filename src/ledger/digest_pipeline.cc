@@ -5,6 +5,7 @@
 
 #include "ledger/digest_store.h"
 #include "ledger/ledger_database.h"
+#include "util/trace.h"
 
 namespace sqlledger {
 
@@ -67,6 +68,25 @@ Result<std::unique_ptr<DigestUploadPipeline>> DigestUploadPipeline::Open(
   std::unique_ptr<DigestUploadPipeline> pipeline(new DigestUploadPipeline(
       db, store, std::move(options), std::move(*outbox)));
 
+  // Resolve the pipeline's metrics from the database registry (DESIGN.md
+  // §13). Open runs before the pipeline sees any concurrency.
+  MetricRegistry* metrics = db->metrics();
+  pipeline->m_uploads_ok_ = metrics->GetCounter("digest.uploads_total");
+  pipeline->m_attempts_ = metrics->GetCounter("digest.attempts_total");
+  pipeline->m_retries_ = metrics->GetCounter("digest.retries_total");
+  pipeline->m_transient_errors_ =
+      metrics->GetCounter("digest.transient_errors_total");
+  pipeline->m_recoveries_ = metrics->GetCounter("digest.recoveries_total");
+  pipeline->m_rejected_ = metrics->GetCounter("digest.rejected_total");
+  pipeline->m_breaker_transitions_ =
+      metrics->GetCounter("digest.breaker_transitions_total");
+  pipeline->m_outbox_depth_ = metrics->GetGauge("digest.outbox_depth");
+  pipeline->m_breaker_state_ = metrics->GetGauge("digest.breaker_state");
+  pipeline->m_upload_micros_ = metrics->GetHistogram("digest.upload_micros");
+  pipeline->tracer_ = db->tracer();
+  pipeline->m_outbox_depth_->Set(
+      static_cast<int64_t>(pipeline->outbox_->pending_count()));
+
   // A previous process may have left digests queued (outage, crash). The
   // newest becomes the chain anchor so this incarnation's next submission
   // chains onto the replayed tail, preserving upload order end to end.
@@ -110,9 +130,10 @@ Status DigestUploadPipeline::SubmitDigest(const DatabaseDigest& digest) {
 
   Status st = outbox_->Append(digest.ToJson());
   if (!st.ok()) {
-    if (st.code() == StatusCode::kBusy) submissions_rejected_++;
+    if (st.code() == StatusCode::kBusy) m_rejected_->Add();
     return st;
   }
+  m_outbox_depth_->Set(static_cast<int64_t>(outbox_->pending_count()));
   have_last_submitted_ = true;
   last_submitted_ = digest;
   return Status::OK();
@@ -130,14 +151,24 @@ Status DigestUploadPipeline::GenerateAndSubmit() {
   return SubmitDigest(*digest);
 }
 
+void DigestUploadPipeline::SetBreakerLocked(DigestBreakerState next) {
+  if (next == breaker_) return;
+  const char* from = DigestBreakerStateName(breaker_);
+  breaker_ = next;
+  m_breaker_transitions_->Add();
+  m_breaker_state_->Set(static_cast<int64_t>(next));
+  tracer_->RecordInstant("digest.breaker", "digest", from,
+                         DigestBreakerStateName(next));
+}
+
 void DigestUploadPipeline::OnRetryableFailureLocked(int64_t now,
                                                     const Status& st) {
-  transient_errors_++;
+  m_transient_errors_->Add();
   consecutive_failures_++;
   if (consecutive_failures_ >= options_.open_after_failures)
-    breaker_ = DigestBreakerState::kOpen;
+    SetBreakerLocked(DigestBreakerState::kOpen);
   else if (consecutive_failures_ >= options_.degraded_after_failures)
-    breaker_ = DigestBreakerState::kDegraded;
+    SetBreakerLocked(DigestBreakerState::kDegraded);
 
   // Exponential backoff with seeded jitter. The exponent saturates at the
   // cap rather than overflowing for long outages.
@@ -173,20 +204,23 @@ size_t DigestUploadPipeline::PumpLocked(int64_t now) {
       break;
     }
 
-    attempts_++;
     head_attempts_++;
-    if (head_attempts_ > 1) retries_++;
+    m_attempts_->Add();
+    if (head_attempts_ > 1) m_retries_->Add();
+    const int64_t upload_start = db_->metrics()->NowMicros();
     Status st = store_->Upload(*digest);
+    m_upload_micros_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, db_->metrics()->NowMicros() - upload_start)));
     now = db_->NowMicros();
     if (st.ok()) {
       // An open breaker admits one probe; its success closes the circuit
       // and the drain continues below.
-      uploads_ok_++;
+      m_uploads_ok_->Add();
       uploaded++;
-      if (head_attempts_ > 1) recovered_after_retry_++;
+      if (head_attempts_ > 1) m_recoveries_->Add();
       head_attempts_ = 0;
       consecutive_failures_ = 0;
-      breaker_ = DigestBreakerState::kHealthy;
+      SetBreakerLocked(DigestBreakerState::kHealthy);
       next_attempt_micros_ = 0;
       have_last_durable_ = true;
       last_durable_ = *digest;
@@ -195,11 +229,12 @@ size_t DigestUploadPipeline::PumpLocked(int64_t now) {
       // verification to refresh its watermark from (DESIGN.md §11).
       db_->NoteDurableDigest(*digest);
       Status ack = outbox_->Ack(1);
+      m_outbox_depth_->Set(static_cast<int64_t>(outbox_->pending_count()));
       if (!ack.ok()) {
         // Local disk trouble persisting the cursor. The digest IS durable
         // at the store; the un-acked head will simply be re-uploaded later
         // and absorbed idempotently. Stop this round.
-        transient_errors_++;
+        m_transient_errors_->Add();
         break;
       }
       continue;
@@ -288,12 +323,14 @@ DigestProtectionStatus DigestUploadPipeline::status() const {
   s.breaker = breaker_;
   s.fatal = fatal_;
   s.outbox_pending = outbox_->pending_count();
-  s.uploads_ok = uploads_ok_;
-  s.attempts = attempts_;
-  s.retries = retries_;
-  s.transient_errors = transient_errors_;
-  s.recovered_after_retry = recovered_after_retry_;
-  s.submissions_rejected = submissions_rejected_;
+  // Counters are registry-backed (DESIGN.md §13): this status struct is a
+  // stable facade over the same storage MetricsSnapshot() reports.
+  s.uploads_ok = m_uploads_ok_->value();
+  s.attempts = m_attempts_->value();
+  s.retries = m_retries_->value();
+  s.transient_errors = m_transient_errors_->value();
+  s.recovered_after_retry = m_recoveries_->value();
+  s.submissions_rejected = m_rejected_->value();
   s.consecutive_failures = consecutive_failures_;
 
   DatabaseLedger* ledger = db_->database_ledger();

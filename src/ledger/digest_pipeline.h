@@ -39,6 +39,7 @@
 
 #include "ledger/digest.h"
 #include "storage/digest_outbox.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -47,6 +48,7 @@ namespace sqlledger {
 
 class DigestStore;
 class LedgerDatabase;
+class Tracer;
 
 /// Retryable errors are the store misbehaving (network weather); fatal
 /// errors mean the *ledger* or the *stored digests* are wrong and retrying
@@ -162,6 +164,9 @@ class DigestUploadPipeline {
   void Loop(std::chrono::milliseconds interval);
   size_t PumpLocked(int64_t now) REQUIRES(mu_);
   void OnRetryableFailureLocked(int64_t now, const Status& st) REQUIRES(mu_);
+  /// Moves the circuit breaker, counting the transition and emitting a
+  /// trace instant when the state actually changes.
+  void SetBreakerLocked(DigestBreakerState next) REQUIRES(mu_);
 
   LedgerDatabase* const db_;
   DigestStore* const store_;
@@ -185,12 +190,25 @@ class DigestUploadPipeline {
   int consecutive_failures_ GUARDED_BY(mu_) = 0;
   /// Attempts already spent on the digest at the head of the outbox.
   uint64_t head_attempts_ GUARDED_BY(mu_) = 0;
-  uint64_t uploads_ok_ GUARDED_BY(mu_) = 0;
-  uint64_t attempts_ GUARDED_BY(mu_) = 0;
-  uint64_t retries_ GUARDED_BY(mu_) = 0;
-  uint64_t transient_errors_ GUARDED_BY(mu_) = 0;
-  uint64_t recovered_after_retry_ GUARDED_BY(mu_) = 0;
-  uint64_t submissions_rejected_ GUARDED_BY(mu_) = 0;
+
+  // Counters, gauges and latencies live in the database's metric registry
+  // (digest.*; DESIGN.md §13) — status() reads the same storage, so there
+  // is exactly one accounting of truth. Pointers are resolved once in Open;
+  // recording is lock-free and adds no lock-order edge under mu_. Trace
+  // instants under mu_ use the Tracer's leaf mutex (edge declared in
+  // scripts/lock_hierarchy.txt).
+  Counter* m_uploads_ok_ = nullptr;        // digest.uploads_total
+  Counter* m_attempts_ = nullptr;          // digest.attempts_total
+  Counter* m_retries_ = nullptr;           // digest.retries_total
+  Counter* m_transient_errors_ = nullptr;  // digest.transient_errors_total
+  Counter* m_recoveries_ = nullptr;        // digest.recoveries_total
+  Counter* m_rejected_ = nullptr;          // digest.rejected_total
+  Counter* m_breaker_transitions_ = nullptr;
+  // ^ digest.breaker_transitions_total
+  Gauge* m_outbox_depth_ = nullptr;        // digest.outbox_depth
+  Gauge* m_breaker_state_ = nullptr;       // digest.breaker_state
+  Histogram* m_upload_micros_ = nullptr;   // digest.upload_micros
+  Tracer* tracer_ = nullptr;
 
   CondVar cv_;
   bool stop_ GUARDED_BY(mu_) = false;

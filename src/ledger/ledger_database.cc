@@ -56,6 +56,30 @@ LedgerDatabase::LedgerDatabase(LedgerDatabaseOptions options)
       signer_(options_.signing_key_id, options_.signing_key) {
   if (!options_.clock) options_.clock = SystemClockMicros;
   env_ = options_.env != nullptr ? options_.env : Env::Default();
+
+  // Observability (DESIGN.md §13): one registry + trace ring per database.
+  // Every metric the database itself records is resolved here, once;
+  // subsystems with their own instrumentation (WAL, lock manager, digest
+  // pipeline, verifier) resolve theirs from metrics() at their own setup.
+  metrics_ = std::make_unique<MetricRegistry>(options_.metrics_clock);
+  tracer_ = std::make_unique<Tracer>(metrics_.get(), options_.trace_capacity);
+  m_commit_txns_ = metrics_->GetCounter("commit.txns_total");
+  m_commit_aborts_ = metrics_->GetCounter("commit.aborts_total");
+  m_commit_groups_ = metrics_->GetCounter("commit.groups_total");
+  m_commit_group_txns_ = metrics_->GetCounter("commit.group_txns_total");
+  m_commit_group_size_ = metrics_->GetHistogram("commit.group_size");
+  m_commit_wait_ = metrics_->GetHistogram("commit.wait_micros");
+  m_checkpoint_micros_ = metrics_->GetHistogram("checkpoint.duration_micros");
+  m_checkpoint_runs_ = metrics_->GetCounter("checkpoint.runs_total");
+  m_recovery_micros_ = metrics_->GetHistogram("recovery.duration_micros");
+  m_recovery_runs_ = metrics_->GetCounter("recovery.runs_total");
+  m_verify_incremental_runs_ = metrics_->GetCounter("verify.incremental_total");
+  m_verify_fallbacks_ = metrics_->GetCounter("verify.fallbacks_total");
+  m_blocks_reverified_ = metrics_->GetCounter("verify.blocks_reverified_total");
+  m_blocks_skipped_ = metrics_->GetCounter("verify.blocks_skipped_total");
+  m_row_versions_skipped_ =
+      metrics_->GetCounter("verify.row_versions_skipped_total");
+  locks_.SetMetrics(metrics_.get());
 }
 
 LedgerDatabase::~LedgerDatabase() {
@@ -88,16 +112,22 @@ Result<std::unique_ptr<LedgerDatabase>> LedgerDatabase::Open(
   // generation on disk — that is still an existing database, not a fresh one.
   if (env->FileExists(db->checkpoint_path_) ||
       env->FileExists(db->checkpoint_path_ + ".prev")) {
+    const int64_t recover_start = db->metrics_->NowMicros();
     SL_RETURN_IF_ERROR(db->Recover());
+    db->m_recovery_micros_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, db->metrics_->NowMicros() - recover_start)));
+    db->m_recovery_runs_->Add();
     auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
+    db->wal_->SetMetrics(db->metrics_.get());
     db->wal_enabled_ = true;
   } else {
     SL_RETURN_IF_ERROR(db->InitFresh());
     auto wal = Wal::Open(db->wal_path_, wal_options);
     if (!wal.ok()) return wal.status();
     db->wal_ = std::move(*wal);
+    db->wal_->SetMetrics(db->metrics_.get());
     db->wal_enabled_ = true;
     // First checkpoint, so recovery never sees a WAL without a catalog.
     SL_RETURN_IF_ERROR(db->Checkpoint());
@@ -211,8 +241,8 @@ std::vector<uint8_t> LedgerDatabase::EncodeCatalogMeta() const {
   {
     MutexLock txn_lock(&txn_mu_);
     PutVarint64(&out, next_txn_id_);
-    PutVarint64(&out, committed_txns_);
   }
+  PutVarint64(&out, m_commit_txns_->value());
   out.push_back(options_.enable_ledger ? 1 : 0);
   PutVarint32(&out, static_cast<uint32_t>(catalog_.size()));
   for (const auto& [id, entry] : catalog_) {
@@ -253,7 +283,9 @@ Status LedgerDatabase::DecodeCatalogMeta(
   next_txn_id_ = *next_txn;
   auto committed = dec.GetVarint64();
   if (!committed.ok()) return committed.status();
-  committed_txns_ = *committed;
+  // Seed the registry counter with the checkpointed lifetime count.
+  // Recovery is single-threaded and the counter starts at zero.
+  m_commit_txns_->Add(*committed);
   auto ledger_enabled = dec.GetBytes(1);
   if (!ledger_enabled.ok()) return ledger_enabled.status();
   if (((*ledger_enabled)[0] != 0) != options_.enable_ledger)
@@ -485,9 +517,9 @@ Status LedgerDatabase::ReplayWalRecord(Slice payload) {
     entry.table_roots = record->table_roots;
     SL_RETURN_IF_ERROR(ledger_->RecoverEntry(entry));
   }
+  m_commit_txns_->Add();
   MutexLock txn_lock(&txn_mu_);
   if (record->txn_id >= next_txn_id_) next_txn_id_ = record->txn_id + 1;
-  committed_txns_++;
   return Status::OK();
 }
 
@@ -677,9 +709,9 @@ Status LedgerDatabase::Commit(Transaction* txn) {
 
   txn->MarkCommitted();
   locks_.ReleaseAll(txn->id());
+  m_commit_txns_->Add();
   {
     MutexLock lock(&txn_mu_);
-    committed_txns_++;
     active_txns_.erase(txn->id());
     txn_cv_.SignalAll();
   }
@@ -687,6 +719,9 @@ Status LedgerDatabase::Commit(Transaction* txn) {
 }
 
 Status LedgerDatabase::CommitThroughGroup(CommitRequest* req) {
+  // commit.wait_micros covers the whole group-commit interaction: queueing,
+  // waiting for a leader (or leading), the group's WAL fsync, and wakeup.
+  const int64_t wait_start = metrics_->NowMicros();
   group_mu_.Lock();
   commit_queue_.push_back(req);
   // Wake a lingering leader so it can re-check its group size.
@@ -704,6 +739,8 @@ Status LedgerDatabase::CommitThroughGroup(CommitRequest* req) {
   if (req->done) {
     Status result = req->result;
     group_mu_.Unlock();
+    m_commit_wait_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, metrics_->NowMicros() - wait_start)));
     return result;
   }
 
@@ -728,18 +765,27 @@ Status LedgerDatabase::CommitThroughGroup(CommitRequest* req) {
 
   // I/O outside group_mu_: later committers keep enqueuing (and will form
   // the next group) while this group's fsync is in flight.
+  const int64_t process_start = metrics_->NowMicros();
   ProcessGroup(group);
+  const int64_t process_end = metrics_->NowMicros();
 
   group_mu_.Lock();
-  commit_groups_++;
-  group_commit_txns_ += group.size();
-  largest_commit_group_ =
-      std::max<uint64_t>(largest_commit_group_, group.size());
   for (CommitRequest* r : group) r->done = true;
   commit_leader_active_ = false;
   group_cv_.SignalAll();
   Status result = req->result;
   group_mu_.Unlock();
+
+  // Leader-side accounting, outside every lock (atomics + the tracer's own
+  // leaf mutex). The group counters used to live under group_mu_; the
+  // registry is now the single accounting of truth.
+  m_commit_groups_->Add();
+  m_commit_group_txns_->Add(group.size());
+  m_commit_group_size_->Record(group.size());
+  m_commit_wait_->Record(static_cast<uint64_t>(
+      std::max<int64_t>(0, metrics_->NowMicros() - wait_start)));
+  tracer_->RecordComplete("commit.group", "commit", process_start,
+                          process_end - process_start);
   return result;
 }
 
@@ -793,8 +839,8 @@ void LedgerDatabase::Abort(Transaction* txn) {
   if (txn == nullptr) return;
   txn->Abort();
   locks_.ReleaseAll(txn->id());
+  m_commit_aborts_->Add();
   MutexLock lock(&txn_mu_);
-  aborted_txns_++;
   active_txns_.erase(txn->id());
   txn_cv_.SignalAll();
 }
@@ -1068,23 +1114,18 @@ std::string DatabaseStats::ToString() const {
 }
 
 uint64_t LedgerDatabase::committed_txn_count() const {
-  MutexLock lock(&txn_mu_);
-  return committed_txns_;
+  return m_commit_txns_->value();
 }
 
 DatabaseStats LedgerDatabase::GetStats() {
+  // Counter fields come from the metric registry — the single accounting of
+  // truth (DESIGN.md §13); this struct is a stable facade over it.
   DatabaseStats stats;
-  {
-    MutexLock lock(&txn_mu_);
-    stats.committed_transactions = committed_txns_;
-    stats.aborted_transactions = aborted_txns_;
-  }
-  {
-    MutexLock lock(&group_mu_);
-    stats.commit_groups = commit_groups_;
-    stats.group_commit_txns = group_commit_txns_;
-    stats.largest_commit_group = largest_commit_group_;
-  }
+  stats.committed_transactions = m_commit_txns_->value();
+  stats.aborted_transactions = m_commit_aborts_->value();
+  stats.commit_groups = m_commit_groups_->value();
+  stats.group_commit_txns = m_commit_group_txns_->value();
+  stats.largest_commit_group = m_commit_group_size_->Snapshot().max;
   {
     MutexLock lock(&commit_mu_);
     if (wal_ != nullptr) stats.wal_syncs = wal_->sync_count();
@@ -1103,14 +1144,11 @@ DatabaseStats LedgerDatabase::GetStats() {
     if (entry->history != nullptr)
       stats.history_rows += entry->history->row_count();
   }
-  {
-    MutexLock lock(&verify_mu_);
-    stats.incremental_verifications = incremental_verifications_;
-    stats.verification_fallbacks = verification_fallbacks_;
-    stats.blocks_reverified = blocks_reverified_total_;
-    stats.blocks_skipped = blocks_skipped_total_;
-    stats.row_versions_skipped = row_versions_skipped_total_;
-  }
+  stats.incremental_verifications = m_verify_incremental_runs_->value();
+  stats.verification_fallbacks = m_verify_fallbacks_->value();
+  stats.blocks_reverified = m_blocks_reverified_->value();
+  stats.blocks_skipped = m_blocks_skipped_->value();
+  stats.row_versions_skipped = m_row_versions_skipped_->value();
   return stats;
 }
 
@@ -1169,12 +1207,11 @@ std::optional<DatabaseDigest> LedgerDatabase::latest_durable_digest() const {
 void LedgerDatabase::RecordIncrementalVerification(
     bool fell_back, uint64_t blocks_reverified, uint64_t blocks_skipped,
     uint64_t row_versions_skipped) {
-  MutexLock lock(&verify_mu_);
-  incremental_verifications_++;
-  if (fell_back) verification_fallbacks_++;
-  blocks_reverified_total_ += blocks_reverified;
-  blocks_skipped_total_ += blocks_skipped;
-  row_versions_skipped_total_ += row_versions_skipped;
+  m_verify_incremental_runs_->Add();
+  if (fell_back) m_verify_fallbacks_->Add();
+  m_blocks_reverified_->Add(blocks_reverified);
+  m_blocks_skipped_->Add(blocks_skipped);
+  m_row_versions_skipped_->Add(row_versions_skipped);
 }
 
 std::vector<TruncationRecord> LedgerDatabase::GetTruncationRecords() {
@@ -1215,6 +1252,17 @@ Status LedgerDatabase::RecordTruncation(const TruncationRecord& record) {
 Status LedgerDatabase::Checkpoint() {
   if (options_.data_dir.empty())
     return Status::OK();  // ephemeral database: nothing to persist
+  const int64_t start = metrics_->NowMicros();
+  Status st = CheckpointImpl();
+  const int64_t end = metrics_->NowMicros();
+  m_checkpoint_micros_->Record(static_cast<uint64_t>(std::max<int64_t>(
+      0, end - start)));
+  m_checkpoint_runs_->Add();
+  tracer_->RecordComplete("checkpoint", "storage", start, end - start);
+  return st;
+}
+
+Status LedgerDatabase::CheckpointImpl() {
   QuiesceGuard guard(this);
   // Quiescing only drains user transactions; digest generation still runs
   // concurrently and appends block-close records under commit_mu_. Hold

@@ -36,8 +36,10 @@
 #include "storage/wal.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/trace.h"
 
 namespace sqlledger {
 
@@ -79,6 +81,14 @@ struct LedgerDatabaseOptions {
   std::chrono::milliseconds lock_timeout{1000};
   /// Injectable clock, microseconds since epoch. Defaults to system clock.
   std::function<int64_t()> clock;
+  /// Injectable clock for metrics + trace timing (monotonic microseconds),
+  /// DISTINCT from `clock`: instrumentation must never change how often the
+  /// commit-timestamp clock is read, or simulated commit timestamps would
+  /// shift (the simulator pins both clocks, separately; DESIGN.md §13).
+  /// Defaults to steady-clock microseconds.
+  MetricsClock metrics_clock;
+  /// Capacity of the in-memory trace-event ring buffer (DESIGN.md §13).
+  size_t trace_capacity = 4096;
   /// Key for the receipt/digest HMAC signer (see DESIGN.md §1.3).
   std::vector<uint8_t> signing_key = {'d', 'e', 'v', '-', 'k', 'e', 'y'};
   std::string signing_key_id = "dev-key-1";
@@ -276,6 +286,19 @@ class LedgerDatabase {
   /// Snapshot of operational counters.
   DatabaseStats GetStats();
 
+  // ---- Observability (DESIGN.md §13) ----
+
+  /// The database-wide metric registry. All Stats counters are registry-
+  /// backed; subsystems (WAL, lock manager, digest pipeline, verifier)
+  /// record through pointers resolved from it at construction time.
+  MetricRegistry* metrics() const { return metrics_.get(); }
+  /// The bounded in-memory trace ring (Chrome trace-event export).
+  Tracer* tracer() const { return tracer_.get(); }
+  /// Point-in-time copy of every registered metric.
+  sqlledger::MetricsSnapshot MetricsSnapshot() const {
+    return metrics_->Snapshot();
+  }
+
   /// Truncation records, newest watermark last (paper §5.2).
   std::vector<TruncationRecord> GetTruncationRecords();
   /// Appends a truncation record (called by TruncateLedger).
@@ -348,6 +371,9 @@ class LedgerDatabase {
 
   Status InitFresh();
   Status Recover();
+  /// Checkpoint body; Checkpoint() wraps it with duration metrics/trace so
+  /// recording happens after every lock scope has exited.
+  Status CheckpointImpl();
   Status ReplayWalRecord(Slice payload);
   void ReconcileDdlCounters();
   std::vector<uint8_t> EncodeCatalogMeta() const;
@@ -382,6 +408,29 @@ class LedgerDatabase {
   std::string wal_path_;
   std::string checkpoint_path_;
   std::string verification_state_path_;  // empty for ephemeral databases
+
+  // Metrics + tracing (DESIGN.md §13). Declared before every subsystem that
+  // records into them (WAL, lock manager, digest pipeline), so they are
+  // destroyed last. The m_* pointers below are resolved once in the
+  // constructor and never change; recording through them is lock-free.
+  std::unique_ptr<MetricRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  Counter* m_commit_txns_ = nullptr;       // commit.txns_total
+  Counter* m_commit_aborts_ = nullptr;     // commit.aborts_total
+  Counter* m_commit_groups_ = nullptr;     // commit.groups_total
+  Counter* m_commit_group_txns_ = nullptr; // commit.group_txns_total
+  Histogram* m_commit_group_size_ = nullptr;  // commit.group_size
+  Histogram* m_commit_wait_ = nullptr;        // commit.wait_micros
+  Histogram* m_checkpoint_micros_ = nullptr;  // checkpoint.duration_micros
+  Counter* m_checkpoint_runs_ = nullptr;      // checkpoint.runs_total
+  Histogram* m_recovery_micros_ = nullptr;    // recovery.duration_micros
+  Counter* m_recovery_runs_ = nullptr;        // recovery.runs_total
+  Counter* m_verify_incremental_runs_ = nullptr;  // verify.incremental_total
+  Counter* m_verify_fallbacks_ = nullptr;         // verify.fallbacks_total
+  Counter* m_blocks_reverified_ = nullptr;   // verify.blocks_reverified_total
+  Counter* m_blocks_skipped_ = nullptr;      // verify.blocks_skipped_total
+  Counter* m_row_versions_skipped_ = nullptr;
+  // ^ verify.row_versions_skipped_total
 
   // Lock hierarchy (see DESIGN.md §8):
   //   group_mu_ -> commit_mu_ -> catalog_mu_ -> txn_mu_.
@@ -418,9 +467,9 @@ class LedgerDatabase {
   CondVar group_cv_;
   std::deque<CommitRequest*> commit_queue_ GUARDED_BY(group_mu_);
   bool commit_leader_active_ GUARDED_BY(group_mu_) = false;
-  uint64_t commit_groups_ GUARDED_BY(group_mu_) = 0;
-  uint64_t group_commit_txns_ GUARDED_BY(group_mu_) = 0;
-  uint64_t largest_commit_group_ GUARDED_BY(group_mu_) = 0;
+  // Group counters live in the registry (commit.groups_total,
+  // commit.group_txns_total, commit.group_size) — recorded lock-free by the
+  // leader after it releases group_mu_.
 
   LockManager locks_;
   HmacSigner signer_;
@@ -437,8 +486,8 @@ class LedgerDatabase {
       GUARDED_BY(txn_mu_);
   uint64_t next_txn_id_ GUARDED_BY(txn_mu_) = 1;
   bool quiescing_ GUARDED_BY(txn_mu_) = false;
-  uint64_t committed_txns_ GUARDED_BY(txn_mu_) = 0;
-  uint64_t aborted_txns_ GUARDED_BY(txn_mu_) = 0;
+  // committed/aborted counts live in the registry (commit.txns_total,
+  // commit.aborts_total).
 
   // Incremental-verification watermark + counters (DESIGN.md §11).
   // verify_mu_ is a leaf: it is never held while acquiring any other lock,
@@ -447,11 +496,8 @@ class LedgerDatabase {
   mutable Mutex verify_mu_;
   std::optional<VerificationState> verification_state_ GUARDED_BY(verify_mu_);
   std::optional<DatabaseDigest> latest_durable_digest_ GUARDED_BY(verify_mu_);
-  uint64_t incremental_verifications_ GUARDED_BY(verify_mu_) = 0;
-  uint64_t verification_fallbacks_ GUARDED_BY(verify_mu_) = 0;
-  uint64_t blocks_reverified_total_ GUARDED_BY(verify_mu_) = 0;
-  uint64_t blocks_skipped_total_ GUARDED_BY(verify_mu_) = 0;
-  uint64_t row_versions_skipped_total_ GUARDED_BY(verify_mu_) = 0;
+  // Incremental-verification counters live in the registry
+  // (verify.incremental_total, verify.fallbacks_total, verify.*_total).
 };
 
 }  // namespace sqlledger

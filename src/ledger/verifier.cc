@@ -192,6 +192,23 @@ Result<VerificationReport> VerifyLedgerCore(
   VerificationReport report;
   std::vector<TruncationRecord> truncations = db->GetTruncationRecords();
 
+  // Phase timers (DESIGN.md §13): re-anchor (snapshot + block hashing +
+  // watermark check), tree hashing (row-version collection through group
+  // roots), view check (reverse/index/view pass + merge). Only the
+  // coordinator thread reads the metrics clock — ParallelFor workers never
+  // touch it, keeping clock call counts deterministic under the simulator.
+  // Early fallback returns skip the remaining phase records.
+  MetricRegistry* metrics = db->metrics();
+  Histogram* reanchor_hist = metrics->GetHistogram("verify.reanchor_micros");
+  Histogram* tree_hist = metrics->GetHistogram("verify.tree_hash_micros");
+  Histogram* view_hist = metrics->GetHistogram("verify.view_check_micros");
+  int64_t phase_start = metrics->NowMicros();
+  auto end_phase = [&](Histogram* hist) {
+    const int64_t now = metrics->NowMicros();
+    hist->Record(static_cast<uint64_t>(std::max<int64_t>(0, now - phase_start)));
+    phase_start = now;
+  };
+
   // All hash recomputation below partitions across this pool: blocks and
   // transaction groups in chunks, tables per task — the counterpart of the
   // paper's reliance on SQL Server parallel query execution (§3.4.2),
@@ -263,6 +280,7 @@ Result<VerificationReport> VerifyLedgerCore(
     trusted_active = true;
     report.watermark_block = watermark;
   }
+  end_phase(reanchor_hist);
 
   // Index the snapshot's transaction entries without copying them. The
   // by-block index keeps every physical row (a tampered duplicate txn id
@@ -686,6 +704,8 @@ Result<VerificationReport> VerifyLedgerCore(
       },
       /*min_chunk=*/16);
 
+  end_phase(tree_hist);
+
   // Phase 4: reverse root check plus index/view checks, one table per task.
   struct TableCheckResult {
     VerificationReport partial;  // only violations used
@@ -802,6 +822,7 @@ Result<VerificationReport> VerifyLedgerCore(
     }
   }
 
+  end_phase(view_hist);
   return report;
 }
 
@@ -814,12 +835,20 @@ Result<VerificationReport> VerifyLedger(
   if (ledger == nullptr)
     return Status::NotSupported("ledger is disabled for this database");
 
-  LedgerDatabase::QuiesceGuard guard(db);
-  // Persist pending entries so the system table holds every transaction
-  // (the checkpoint-time drain of §3.3.2, run eagerly for verification).
-  SL_RETURN_IF_ERROR(ledger->DrainQueue());
-  return VerifyLedgerCore(db, digests, options, /*state=*/nullptr,
-                          /*out_state=*/nullptr);
+  const int64_t start = db->metrics()->NowMicros();
+  Result<VerificationReport> report = [&]() -> Result<VerificationReport> {
+    LedgerDatabase::QuiesceGuard guard(db);
+    // Persist pending entries so the system table holds every transaction
+    // (the checkpoint-time drain of §3.3.2, run eagerly for verification).
+    SL_RETURN_IF_ERROR(ledger->DrainQueue());
+    return VerifyLedgerCore(db, digests, options, /*state=*/nullptr,
+                            /*out_state=*/nullptr);
+  }();
+  const int64_t end = db->metrics()->NowMicros();
+  db->metrics()->GetHistogram("verify.full_micros")
+      ->Record(static_cast<uint64_t>(std::max<int64_t>(0, end - start)));
+  db->tracer()->RecordComplete("verify.full", "verify", start, end - start);
+  return report;
 }
 
 Result<VerificationReport> VerifyLedgerIncremental(
@@ -828,6 +857,8 @@ Result<VerificationReport> VerifyLedgerIncremental(
   DatabaseLedger* ledger = db->database_ledger();
   if (ledger == nullptr)
     return Status::NotSupported("ledger is disabled for this database");
+
+  const int64_t inc_start = db->metrics()->NowMicros();
 
   // ONE quiesce covers the incremental pass and, if re-anchoring fails,
   // the full fallback pass — QuiesceGuard is not re-entrant and the two
@@ -870,6 +901,8 @@ Result<VerificationReport> VerifyLedgerIncremental(
       // the partial pass and run the full verification under the same
       // quiesce, so the violation set is exactly VerifyLedger's.
       std::string reason = report->fallback_reason;
+      db->tracer()->RecordInstant("verify.fallback", "verify", "reason",
+                                  reason);
       refreshed = VerificationState{};
       auto full = VerifyLedgerCore(db, all_digests, options,
                                    /*state=*/nullptr, &refreshed);
@@ -896,6 +929,12 @@ Result<VerificationReport> VerifyLedgerIncremental(
                                     report->blocks_reverified,
                                     report->blocks_skipped,
                                     report->row_versions_skipped);
+  const int64_t inc_end = db->metrics()->NowMicros();
+  db->metrics()->GetHistogram("verify.incremental_micros")
+      ->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, inc_end - inc_start)));
+  db->tracer()->RecordComplete("verify.incremental", "verify", inc_start,
+                               inc_end - inc_start);
   return report;
 }
 

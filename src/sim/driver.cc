@@ -56,6 +56,7 @@ std::string SimResult::Summary() const {
      << " incr_verifications=" << incremental_verifications
      << " digests=" << digests << " outages=" << store_outages
      << " digest=" << final_digest_hex << " fp=" << outcome_fingerprint;
+  if (!metrics_fingerprint.empty()) os << " mfp=" << metrics_fingerprint;
   if (!ok) os << " @" << divergent_op << ": " << message;
   return os.str();
 }
@@ -145,6 +146,10 @@ Status SimDriver::OpenDb() {
   opts.sync_wal = true;
   opts.env = fenv_.get();
   opts.clock = [this] { return ++clock_; };
+  // Pin the metrics/trace clock to its own counter (DESIGN.md §13): metric
+  // timestamps replay byte-for-byte, and instrumentation never perturbs the
+  // commit-timestamp clock above.
+  opts.metrics_clock = [this] { return ++metrics_clock_; };
   // Determinism contract (DESIGN.md §10): no timed group formation. The
   // driver is single-threaded, so with a zero linger every commit group is
   // a singleton and traces stay byte-identical across reruns; FullAudit
@@ -1862,6 +1867,14 @@ SimResult SimDriver::Run(const std::vector<SimOp>& trace) {
 
   result_.ok = !diverged_;
   result_.outcome_fingerprint = Sha256::Digest(Slice(log_)).ToHex();
+  // Observability determinism check (DESIGN.md §13): under the pinned
+  // metrics clock, the final metrics snapshot and trace export must replay
+  // byte-for-byte for the same seed, just like the outcome log.
+  if (db_ != nullptr) {
+    std::string obs = MetricsToJson(db_->MetricsSnapshot()).Dump();
+    obs += db_->tracer()->ToChromeJson().Dump();
+    result_.metrics_fingerprint = Sha256::Digest(Slice(obs)).ToHex();
+  }
   return result_;
 }
 

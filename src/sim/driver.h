@@ -64,6 +64,10 @@ struct SimResult {
   std::string final_digest_hex;
   /// SHA-256 over the per-op outcome log — byte-for-byte determinism check.
   std::string outcome_fingerprint;
+  /// SHA-256 over the final metrics JSON + trace JSON (DESIGN.md §13): the
+  /// observability layer must itself replay byte-for-byte under a pinned
+  /// metrics clock. Empty when the run died before a database existed.
+  std::string metrics_fingerprint;
   uint64_t statements = 0;
   uint64_t commits = 0;
   uint64_t crashes = 0;
@@ -182,6 +186,11 @@ class SimDriver {
   std::set<std::pair<std::string, std::string>> indexes_;
   std::vector<DatabaseDigest> trusted_;
   int64_t clock_ = 1000000;  // driver-owned deterministic clock
+  // Separate deterministic clock for the metrics/trace subsystem: metric
+  // timing must not perturb commit timestamps drawn from clock_ (the db
+  // clock increments per call, so sharing it would shift commit_ts values
+  // whenever instrumentation adds or removes a read).
+  int64_t metrics_clock_ = 5000000;
   uint64_t reopens_ = 0;
   /// Every pipeline submission in order. `accepted` = the outbox reported
   /// durable; false = the outcome was ambiguous (crash mid-append) and the

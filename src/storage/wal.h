@@ -25,6 +25,7 @@
 #include "catalog/value.h"
 #include "crypto/sha256.h"
 #include "storage/env.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -103,6 +104,14 @@ class Wal {
   /// be treated as committed). An empty batch is a no-op.
   Status AppendBatch(const std::vector<Slice>& payloads);
 
+  /// Attaches latency instrumentation (DESIGN.md §13): wal.append_micros
+  /// (buffered write+flush), wal.sync_micros (the trailing fsync) and
+  /// wal.syncs_total, resolved from `registry`. Call once right after Open,
+  /// before the WAL sees concurrency; nullptr detaches. The registry must
+  /// outlive the Wal. With no registry attached, appends never read the
+  /// metrics clock.
+  void SetMetrics(MetricRegistry* registry);
+
   /// Rotates the log after a successful checkpoint: the current file moves
   /// to `path + ".prev"` (paired with the just-superseded checkpoint, so
   /// recovery can fall back one checkpoint generation) and a fresh empty
@@ -140,6 +149,14 @@ class Wal {
   uint64_t bytes_written_ = 0;
   uint64_t syncs_issued_ = 0;
   Status sticky_error_;
+  // Optional instrumentation (SetMetrics). Null when detached. syncs_issued_
+  // stays authoritative for sync_count(); the registry counter mirrors it so
+  // the stats surface has one namespace.
+  MetricRegistry* metrics_ = nullptr;
+  Histogram* m_append_micros_ = nullptr;  // wal.append_micros
+  Histogram* m_sync_micros_ = nullptr;    // wal.sync_micros
+  Counter* m_syncs_total_ = nullptr;      // wal.syncs_total
+  Counter* m_bytes_total_ = nullptr;      // wal.bytes_total
 };
 
 }  // namespace sqlledger

@@ -1,5 +1,6 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace sqlledger {
@@ -71,6 +72,19 @@ bool LockManager::WouldDeadlock(uint64_t txn_id) const {
   return false;
 }
 
+void LockManager::SetMetrics(MetricRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_wait_micros_ = nullptr;
+    m_timeouts_ = nullptr;
+    m_deadlocks_ = nullptr;
+    return;
+  }
+  m_wait_micros_ = registry->GetHistogram("lock.wait_micros");
+  m_timeouts_ = registry->GetCounter("lock.timeouts_total");
+  m_deadlocks_ = registry->GetCounter("lock.deadlocks_total");
+}
+
 Status LockManager::AcquireLocked(Entry* entry, uint64_t txn_id,
                                   LockMode mode, const char* what) {
   auto held = entry->holders.find(txn_id);
@@ -79,7 +93,19 @@ Status LockManager::AcquireLocked(Entry* entry, uint64_t txn_id,
 
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   entry->waiters++;
+  // lock.wait_micros covers only CONTENDED acquisitions: the metrics clock
+  // is first read when a grant is actually refused, so uncontended runs
+  // (e.g. the single-threaded simulator) make zero lock-metric clock calls.
+  int64_t wait_start = -1;
+  auto record_wait = [&]() {
+    if (wait_start >= 0) {
+      m_wait_micros_->Record(static_cast<uint64_t>(
+          std::max<int64_t>(0, metrics_->NowMicros() - wait_start)));
+    }
+  };
   while (!CanGrant(*entry, txn_id, mode)) {
+    if (wait_start < 0 && m_wait_micros_ != nullptr)
+      wait_start = metrics_->NowMicros();
     // Re-derive our waits-for edges each round: the blocking holders change
     // as other transactions commit, abort, or acquire.
     std::set<uint64_t> blockers;
@@ -91,18 +117,23 @@ Status LockManager::AcquireLocked(Entry* entry, uint64_t txn_id,
     if (WouldDeadlock(txn_id)) {
       waits_for_.erase(txn_id);
       entry->waiters--;
+      record_wait();
+      if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
       return Status::Aborted(std::string("deadlock detected on ") + what);
     }
     if (!cv_.WaitUntil(&mu_, deadline)) {
       if (CanGrant(*entry, txn_id, mode)) break;
       waits_for_.erase(txn_id);
       entry->waiters--;
+      record_wait();
+      if (m_timeouts_ != nullptr) m_timeouts_->Add();
       return Status::Aborted(std::string("lock timeout on ") + what +
                              " (possible deadlock)");
     }
   }
   waits_for_.erase(txn_id);
   entry->waiters--;
+  record_wait();
   held = entry->holders.find(txn_id);
   entry->holders[txn_id] = held == entry->holders.end()
                                ? mode

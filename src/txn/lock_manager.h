@@ -19,6 +19,7 @@
 #include <set>
 
 #include "catalog/value.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -53,6 +54,14 @@ class LockManager {
   /// Releases every table and row lock held by `txn_id`.
   void ReleaseAll(uint64_t txn_id);
 
+  /// Attaches a lock.wait_micros histogram + lock.timeouts_total /
+  /// lock.deadlocks_total counters resolved from `registry` (DESIGN.md §13).
+  /// Call once before the manager sees concurrency; nullptr detaches. Only
+  /// CONTENDED acquisitions are recorded: the uncontended fast path never
+  /// reads the metrics clock, so single-threaded deterministic-simulator
+  /// runs make zero lock-metric clock calls.
+  void SetMetrics(MetricRegistry* registry);
+
  private:
   struct Entry {
     // txn -> strongest mode held. Usually tiny.
@@ -79,6 +88,12 @@ class LockManager {
   // deadlock and aborts immediately instead of stalling until the timeout
   // (the timeout remains as a backstop for edges this graph cannot see).
   std::map<uint64_t, std::set<uint64_t>> waits_for_ GUARDED_BY(mu_);
+  // Optional instrumentation (SetMetrics); null when detached. Recording is
+  // lock-free, so doing it under mu_ adds no lock-order edge.
+  MetricRegistry* metrics_ = nullptr;
+  Histogram* m_wait_micros_ = nullptr;   // lock.wait_micros
+  Counter* m_timeouts_ = nullptr;        // lock.timeouts_total
+  Counter* m_deadlocks_ = nullptr;       // lock.deadlocks_total
 };
 
 }  // namespace sqlledger

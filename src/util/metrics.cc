@@ -1,0 +1,216 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace sqlledger {
+
+int64_t SteadyClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i == 0) return 1;  // bucket 0 = {0}
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+uint64_t HistogramSnapshot::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+size_t HistogramSnapshot::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // 1 + floor(log2(value)), capped at the overflow bucket.
+  size_t idx = 1;
+  while (value > 1) {
+    value >>= 1;
+    ++idx;
+  }
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the requested percentile, 1-based: the smallest r such that at
+  // least r samples are <= the answer.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    // The rank lands in bucket i. The overflow bucket has no finite upper
+    // bound, and the global final rank is exactly the tracked max — report
+    // the exact max for both instead of interpolating.
+    if (i == kNumBuckets - 1 || rank == count) {
+      return static_cast<double>(max);
+    }
+    double lo = static_cast<double>(BucketLowerBound(i));
+    double hi = static_cast<double>(BucketUpperBound(i));
+    double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+    return std::min(lo + (hi - lo) * frac, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[HistogramSnapshot::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value && !max_.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  // Relaxed loads: the snapshot is a statistical read, not a linearization
+  // point. Concurrent Record calls may straddle it (count/sum/bucket can be
+  // off by in-flight increments) but each field is individually torn-free.
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonValue doc = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, v] : snapshot.counters) {
+    counters.Set(name, JsonValue::Int(static_cast<int64_t>(v)));
+  }
+  doc.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, v] : snapshot.gauges) {
+    gauges.Set(name, JsonValue::Int(v));
+  }
+  doc.Set("gauges", std::move(gauges));
+  JsonValue hists = JsonValue::Object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("count", JsonValue::Int(static_cast<int64_t>(h.count)));
+    obj.Set("sum", JsonValue::Int(static_cast<int64_t>(h.sum)));
+    obj.Set("max", JsonValue::Int(static_cast<int64_t>(h.max)));
+    obj.Set("mean", JsonValue::Double(h.Mean()));
+    obj.Set("p50", JsonValue::Double(h.Percentile(50)));
+    obj.Set("p95", JsonValue::Double(h.Percentile(95)));
+    obj.Set("p99", JsonValue::Double(h.Percentile(99)));
+    JsonValue buckets = JsonValue::Array();
+    for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      JsonValue pair = JsonValue::Array();
+      pair.Append(JsonValue::Int(static_cast<int64_t>(i)));
+      pair.Append(JsonValue::Int(static_cast<int64_t>(h.buckets[i])));
+      buckets.Append(std::move(pair));
+    }
+    obj.Set("buckets", std::move(buckets));
+    hists.Set(name, std::move(obj));
+  }
+  doc.Set("histograms", std::move(hists));
+  return doc;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  static const char* kUnits[] = {"micros", "bytes", "total", "count",
+                                 "size",   "depth", "ratio", "state"};
+  size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= name.size()) {
+    return false;
+  }
+  auto lower_word = [](const std::string& s, size_t begin, size_t end,
+                       bool allow_underscore) {
+    if (begin >= end) return false;
+    if (s[begin] < 'a' || s[begin] > 'z') return false;
+    for (size_t i = begin; i < end; ++i) {
+      char c = s[i];
+      bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                (allow_underscore && c == '_');
+      if (!ok) return false;
+    }
+    return true;
+  };
+  if (!lower_word(name, 0, dot, false)) return false;
+  if (!lower_word(name, dot + 1, name.size(), true)) return false;
+  size_t last_us = name.rfind('_');
+  size_t unit_begin = (last_us == std::string::npos || last_us < dot)
+                          ? dot + 1
+                          : last_us + 1;
+  std::string unit = name.substr(unit_begin);
+  for (const char* u : kUnits) {
+    if (unit == u) return true;
+  }
+  return false;
+}
+
+MetricRegistry::MetricRegistry(MetricsClock clock)
+    : clock_(clock ? std::move(clock) : MetricsClock(&SteadyClockMicros)) {}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  MutexLock lock(&mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+int64_t LatencyTimer::Stop() {
+  if (registry_ == nullptr) return 0;
+  int64_t elapsed = registry_->NowMicros() - start_;
+  if (elapsed < 0) elapsed = 0;
+  hist_->Record(static_cast<uint64_t>(elapsed));
+  registry_ = nullptr;
+  return elapsed;
+}
+
+}  // namespace sqlledger

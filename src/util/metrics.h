@@ -1,0 +1,193 @@
+// Lock-cheap metrics registry (DESIGN.md §13). Counters, gauges and
+// fixed-bucket exponential latency histograms shared by the WAL, the
+// group-commit pipeline, the digest upload pipeline, the verifier and the
+// lock manager. Design constraints, in order:
+//
+//   - Recording must be safe under EVERY existing lock (group_mu_,
+//     commit_mu_, DigestUploadPipeline::mu_, LockManager::mu_, ...), so the
+//     hot path is pure relaxed atomics — no mutex, no allocation, no
+//     lock-order edge. The registry's own mutex guards only name->metric
+//     registration and snapshotting, never a Record/Add call.
+//   - Time comes from an injectable clock, distinct from the database's
+//     commit-timestamp clock: the deterministic simulator pins BOTH, but
+//     separately, so metric timing never perturbs the db clock's call count
+//     (commit timestamps must replay byte-identically; see DESIGN.md §7).
+//   - Metric names follow `subsystem.noun_unit` (wal.sync_micros,
+//     commit.group_size, digest.outbox_depth) — enforced by the
+//     metric-naming rule in scripts/lint.py.
+//
+// Counters/gauges/histograms are owned by the registry and live until it is
+// destroyed; call sites resolve their pointers once at construction time
+// and record through the cached pointer thereafter.
+
+#ifndef SQLLEDGER_UTIL_METRICS_H_
+#define SQLLEDGER_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/json.h"
+#include "util/thread_annotations.h"
+
+namespace sqlledger {
+
+/// Injectable time source for duration measurement, microseconds on a
+/// monotonic scale. Only deltas are ever interpreted, so the epoch is
+/// irrelevant. Defaults to SteadyClockMicros; the simulator injects its own
+/// deterministic counter.
+using MetricsClock = std::function<int64_t()>;
+
+/// std::chrono::steady_clock in microseconds — the default MetricsClock.
+int64_t SteadyClockMicros();
+
+/// Monotonically increasing event count. Relaxed atomics: per-call cost is
+/// one uncontended RMW, safe under any lock.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, breaker state). Last writer wins.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Immutable copy of a histogram's state. Merge is commutative and
+/// associative (counts/sums/buckets add, max takes max), so per-shard or
+/// per-run snapshots can be combined in any order.
+struct HistogramSnapshot {
+  /// Exponential base-2 bucket layout: bucket 0 holds exactly the value 0,
+  /// bucket i (1 <= i < kNumBuckets-1) holds [2^(i-1), 2^i), and the last
+  /// bucket is the overflow [2^(kNumBuckets-2), +inf). 40 buckets span
+  /// 1 microsecond to ~2^38 us (~3 days) before overflowing.
+  static constexpr size_t kNumBuckets = 40;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Exclusive upper bound of bucket i; UINT64_MAX for the overflow bucket.
+  static uint64_t BucketUpperBound(size_t i);
+  /// Inclusive lower bound of bucket i.
+  static uint64_t BucketLowerBound(size_t i);
+  /// Bucket index a recorded value falls into.
+  static size_t BucketIndex(uint64_t value);
+
+  /// Estimated p-th percentile (0 < p <= 100), linearly interpolated within
+  /// the bucket holding the rank. The overflow bucket and the final rank
+  /// report the exact tracked max. 0 when empty.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket exponential histogram. Record is wait-free: one relaxed
+/// fetch_add per bucket/count/sum plus a CAS loop for the max.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, HistogramSnapshot::kNumBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every metric in a registry, name-ordered (std::map)
+/// so serialization is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+};
+
+/// Serializes a snapshot as a JSON object:
+///   { "counters": {name: n, ...},
+///     "gauges":   {name: v, ...},
+///     "histograms": {name: {count,sum,max,mean,p50,p95,p99,buckets:[...]}}}
+/// Bucket arrays list [index, count] pairs for non-empty buckets only.
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// True when `name` follows the `subsystem.noun_unit` convention enforced
+/// by scripts/lint.py (lowercase subsystem, '.', lowercase noun with a
+/// trailing unit token: micros/bytes/total/count/size/depth/ratio/state).
+bool IsValidMetricName(const std::string& name);
+
+/// Name -> metric owner. Get* registers on first use and returns the same
+/// pointer afterwards; the pointer stays valid for the registry's lifetime.
+/// Registration takes the registry mutex (a leaf — nothing else is acquired
+/// under it), so resolve metrics at construction time, not on hot paths.
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(MetricsClock clock = {});
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Reads the injectable clock (microseconds, monotonic scale).
+  int64_t NowMicros() const { return clock_(); }
+  const MetricsClock& clock() const { return clock_; }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricsClock clock_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+/// RAII latency probe: records clock-delta microseconds into a histogram at
+/// destruction (or at Stop). A null histogram or registry makes the timer a
+/// no-op that never reads the clock, keeping clock call counts deterministic
+/// for configurations with metrics disabled.
+class LatencyTimer {
+ public:
+  LatencyTimer(const MetricRegistry* registry, Histogram* hist)
+      : registry_(hist != nullptr ? registry : nullptr),
+        hist_(hist),
+        start_(registry_ != nullptr ? registry_->NowMicros() : 0) {}
+  ~LatencyTimer() { Stop(); }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  /// Records now-start and disarms; returns the recorded duration (0 when
+  /// disabled or already stopped).
+  int64_t Stop();
+
+ private:
+  const MetricRegistry* registry_;
+  Histogram* hist_;
+  int64_t start_;
+};
+
+}  // namespace sqlledger
+
+#endif  // SQLLEDGER_UTIL_METRICS_H_

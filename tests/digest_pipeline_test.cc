@@ -562,6 +562,38 @@ TEST_F(DigestProtectionWiringTest, StartStopAndStatusSurface) {
   EXPECT_EQ(db->digest_pipeline(), nullptr);
 }
 
+TEST_F(DigestProtectionWiringTest, StalenessTracksInjectableClockExactly) {
+  // seconds_since_last_durable must be computed from the database's
+  // injectable clock, never wall time: a 5-second jump of the fake clock
+  // (while <1ms of real time passes) must show up in the status verbatim.
+  auto ticks = std::make_shared<std::atomic<int64_t>>(1000000);
+  LedgerDatabaseOptions options;
+  options.block_size = 4;
+  options.database_id = "staleness";
+  options.clock = [ticks] { return ++*ticks; };
+  auto opened = LedgerDatabase::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto db = std::move(*opened);
+  ASSERT_TRUE(
+      db->CreateTable("t", SimpleUserSchema(), TableKind::kUpdateable).ok());
+  ASSERT_TRUE(InsertOne(db.get(), "t", 1, "x").ok());
+
+  InMemoryDigestStore store;
+  auto pipeline =
+      DigestUploadPipeline::Open(db.get(), &store, FastOptions(Path("ob")));
+  ASSERT_TRUE(pipeline.ok());
+  DigestUploadPipeline* p = pipeline->get();
+  ASSERT_TRUE(p->GenerateAndSubmit().ok());
+  ASSERT_EQ(p->Pump(), 1u);
+
+  // Advance only the injected clock, then re-read. The per-call +1 ticks
+  // add at most a few microseconds on top of the 5-second jump.
+  *ticks += 5 * 1000 * 1000;
+  double stale = p->status().seconds_since_last_durable;
+  EXPECT_GE(stale, 5.0);
+  EXPECT_LT(stale, 5.001);
+}
+
 TEST_F(DigestProtectionWiringTest, BackgroundCadenceUploadsDigests) {
   auto db = OpenTestDb();
   ASSERT_TRUE(

@@ -44,6 +44,7 @@ TEST_F(SimHarnessTest, DeterministicAtScale) {
   ASSERT_TRUE(first.ok) << first.message;
   EXPECT_EQ(first.outcome_fingerprint, second.outcome_fingerprint);
   EXPECT_EQ(first.final_digest_hex, second.final_digest_hex);
+  EXPECT_EQ(first.metrics_fingerprint, second.metrics_fingerprint);
 }
 
 TEST_F(SimHarnessTest, MinimizerShrinksFailingTraceAndPreservesFailure) {

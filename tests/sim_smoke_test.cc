@@ -45,6 +45,10 @@ TEST_F(SimSmokeTest, SameSeedReproducesByteForByte) {
   ASSERT_TRUE(second.ok) << second.message;
   EXPECT_EQ(first.outcome_fingerprint, second.outcome_fingerprint);
   EXPECT_EQ(first.final_digest_hex, second.final_digest_hex);
+  // The observability layer replays too: metrics snapshot + trace export
+  // hash identically under the pinned metrics clock.
+  ASSERT_FALSE(first.metrics_fingerprint.empty());
+  EXPECT_EQ(first.metrics_fingerprint, second.metrics_fingerprint);
 }
 
 TEST_F(SimSmokeTest, StoreOutageWindowsCatchUpAndAgree) {
